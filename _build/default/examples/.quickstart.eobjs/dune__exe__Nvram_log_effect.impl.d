@@ -1,0 +1,1 @@
+examples/nvram_log_effect.ml: Dirsvc List Printf Rpc Sim Storage

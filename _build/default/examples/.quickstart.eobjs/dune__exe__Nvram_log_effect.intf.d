@@ -1,0 +1,1 @@
+examples/nvram_log_effect.mli:

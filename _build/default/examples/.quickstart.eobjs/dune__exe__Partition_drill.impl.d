@@ -1,0 +1,1 @@
+examples/partition_drill.ml: Dirsvc List Option Printf Rpc Sim Simnet String

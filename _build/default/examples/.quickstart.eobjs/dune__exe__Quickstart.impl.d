@@ -1,0 +1,1 @@
+examples/quickstart.ml: Capability Dirsvc Format List Printf Rpc Sim String

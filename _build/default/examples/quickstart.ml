@@ -1,0 +1,58 @@
+(* Quickstart: boot the triplicated group directory service, store and
+   retrieve capabilities, and watch the replicas stay identical.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let printf = Printf.printf
+
+let () =
+  printf "== Amoeba group directory service: quickstart ==\n\n";
+  (* A deployment: 3 directory servers, each paired with a Bullet file
+     server sharing its disk, all on one simulated Ethernet. *)
+  let cluster = Dirsvc.Cluster.create ~seed:42L Dirsvc.Cluster.Group_disk in
+  let engine = Dirsvc.Cluster.engine cluster in
+  if not (Dirsvc.Cluster.await_serving cluster ~count:3) then
+    failwith "cluster failed to boot";
+  printf "cluster of 3 serving at t=%.0f ms (simulated)\n\n" (Sim.Engine.now engine);
+
+  (* Clients are fibers on their own machines. *)
+  let client = Dirsvc.Cluster.client cluster in
+  let node = Rpc.Transport.node (Dirsvc.Client.transport client) in
+  Sim.Proc.boot engine node (fun () ->
+      (* Create a directory with three protection columns. *)
+      let home =
+        Dirsvc.Client.create_dir client ~columns:[ "owner"; "group"; "other" ]
+      in
+      printf "created directory: %s\n" (Format.asprintf "%a" Capability.pp home);
+
+      (* Store a capability under a name; different columns can hold
+         differently-restricted capabilities of the target. *)
+      let file_cap = Capability.owner ~port:"bullet@21" ~obj:7 77L in
+      let weak = Capability.restrict file_cap ~mask:0x1 in
+      Dirsvc.Client.append_row client home ~name:"paper.tex"
+        [ file_cap; weak; weak ];
+      printf "appended row 'paper.tex' (strong cap in column 0)\n";
+
+      (* Look it up through the third column: only the weak cap. *)
+      let other_view = Capability.restrict home ~mask:(Dirsvc.Directory.column_right 2) in
+      (match Dirsvc.Client.lookup client ~column:2 other_view "paper.tex" with
+      | Some (cap, _) ->
+          printf "column-2 lookup sees: %s (rights %#x)\n"
+            (Format.asprintf "%a" Capability.pp cap)
+            cap.Capability.rights
+      | None -> printf "lookup failed!\n");
+
+      (* Updates are atomic and totally ordered across the replicas. *)
+      Dirsvc.Client.append_row client home ~name:"draft.tex" [ file_cap ];
+      Dirsvc.Client.delete_row client home ~name:"draft.tex";
+      let listing = Dirsvc.Client.list_dir client home in
+      printf "directory now lists: [%s]\n"
+        (String.concat "; "
+           (List.map (fun (n, _, _) -> n) listing.Dirsvc.Directory.entries)));
+  Dirsvc.Cluster.run_until cluster 60_000.0;
+
+  (* All three replicas hold the identical store. *)
+  (match Dirsvc.Consistency.check_convergence (Dirsvc.Cluster.store_snapshots cluster) with
+  | Ok () -> printf "\nall 3 replicas converged - one-copy semantics hold\n"
+  | Error d -> printf "\nDIVERGENCE: %s\n" (Dirsvc.Consistency.divergence_to_string d));
+  printf "simulated time elapsed: %.0f ms\n" (Sim.Engine.now engine)

@@ -1,0 +1,43 @@
+type rights = int
+
+let rights_bits = 8
+
+let all_rights = (1 lsl rights_bits) - 1
+
+type t = { port : string; obj : int; rights : rights; check : int64 }
+
+type secret = int64
+
+let pp fmt t =
+  Format.fprintf fmt "%s:%d[%02x]" t.port t.obj (t.rights land all_rights)
+
+let equal a b =
+  a.port = b.port && a.obj = b.obj && a.rights = b.rights
+  && Int64.equal a.check b.check
+
+(* A splitmix64-style one-way mix; plenty for a simulation. *)
+let mix z =
+  let z = Int64.add z 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let mint_secret state = mix (Int64.add state 0x5851F42D4C957F2DL)
+
+let owner ~port ~obj secret = { port; obj; rights = all_rights; check = secret }
+
+let restricted_check secret rights =
+  mix (Int64.logxor secret (Int64.of_int rights))
+
+let restrict t ~mask =
+  if t.rights <> all_rights then
+    invalid_arg "Capability.restrict: not an owner capability";
+  let rights = t.rights land mask land all_rights in
+  if rights = all_rights then t
+  else { t with rights; check = restricted_check t.check rights }
+
+let validate t secret =
+  if t.rights land all_rights = all_rights then Int64.equal t.check secret
+  else Int64.equal t.check (restricted_check secret t.rights)
+
+let has_rights t ~need = t.rights land need = need

@@ -1,0 +1,1 @@
+lib/dirsvc/client.ml: Directory Rpc Wire

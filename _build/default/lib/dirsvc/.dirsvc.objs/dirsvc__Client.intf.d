@@ -1,0 +1,1 @@
+lib/dirsvc/client.mli: Capability Directory Rpc

@@ -1,0 +1,1 @@
+lib/dirsvc/cluster.ml: Array Client Directory Fun Group_server List Nfs_server Params Printf Rpc Rpc_server Sim Simnet Storage

@@ -1,0 +1,1 @@
+lib/dirsvc/cluster.mli: Client Directory Group_server Params Rpc Sim Simnet Storage

@@ -1,0 +1,1 @@
+lib/dirsvc/consistency.ml: Directory Format Group_server Hashtbl List Printf String

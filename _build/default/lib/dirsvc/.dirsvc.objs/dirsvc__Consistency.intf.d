@@ -1,0 +1,1 @@
+lib/dirsvc/consistency.mli: Directory Group_server

@@ -1,0 +1,1 @@
+lib/dirsvc/directory.ml: Array Bytes Capability Char Format Int Int64 List Map Result Storage String

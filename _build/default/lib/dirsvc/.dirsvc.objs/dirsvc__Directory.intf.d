@@ -1,0 +1,1 @@
+lib/dirsvc/directory.mli: Capability Format Map

@@ -1,0 +1,1 @@
+lib/dirsvc/group_server.ml: Array Capability Directory Group Hashtbl Int64 List Params Printf Rpc Sim Simnet Skeen Storage String Wire

@@ -1,0 +1,1 @@
+lib/dirsvc/group_server.mli: Directory Params Sim Simnet Storage

@@ -1,0 +1,1 @@
+lib/dirsvc/nfs_server.ml: Bytes Capability Directory Int64 List Params Rpc Sim Simnet Storage String Wire

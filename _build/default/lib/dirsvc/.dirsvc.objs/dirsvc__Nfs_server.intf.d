@@ -1,0 +1,1 @@
+lib/dirsvc/nfs_server.mli: Directory Params Sim Simnet Storage

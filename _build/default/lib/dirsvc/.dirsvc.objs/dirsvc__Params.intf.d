@@ -1,0 +1,1 @@
+lib/dirsvc/params.mli: Group Simnet

@@ -1,0 +1,1 @@
+lib/dirsvc/rpc_server.ml: Capability Directory Hashtbl Int64 List Params Printf Rpc Sim Simnet Storage Wire

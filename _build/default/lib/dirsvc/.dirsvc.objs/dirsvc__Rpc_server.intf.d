@@ -1,0 +1,1 @@
+lib/dirsvc/rpc_server.mli: Directory Params Sim Simnet Storage

@@ -1,0 +1,1 @@
+lib/dirsvc/skeen.ml: Array Int List Set

@@ -1,0 +1,1 @@
+lib/dirsvc/skeen.mli: Set

@@ -1,0 +1,1 @@
+lib/dirsvc/wire.ml: Bytes Capability Directory List Printf Simnet Storage String

@@ -1,0 +1,1 @@
+lib/dirsvc/wire.mli: Capability Directory Simnet

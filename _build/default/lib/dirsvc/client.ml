@@ -1,0 +1,52 @@
+type t = { transport : Rpc.Transport.t; port : string; timeout : float }
+
+let make ?(timeout = 5_000.0) transport ~port = { transport; port; timeout }
+
+let transport t = t.transport
+
+let call t request =
+  match
+    Rpc.Transport.trans t.transport ~port:t.port ~timeout:t.timeout
+      (Wire.Dir_request request)
+  with
+  | Wire.Dir_reply (Wire.Err_rep e) -> raise (Wire.Dir_error e)
+  | Wire.Dir_reply reply -> reply
+  | _ -> raise (Wire.Dir_error (Wire.Unavailable "malformed reply"))
+
+let expect_ok = function
+  | Wire.Ok_rep -> ()
+  | _ -> raise (Wire.Dir_error (Wire.Unavailable "unexpected reply"))
+
+let create_dir t ~columns =
+  match call t (Wire.Write_op (Directory.Create_dir { columns; secret = 0L; hint = None })) with
+  | Wire.Cap_rep cap -> cap
+  | _ -> raise (Wire.Dir_error (Wire.Unavailable "unexpected reply"))
+
+let delete_dir t cap = expect_ok (call t (Wire.Write_op (Directory.Delete_dir { cap })))
+
+let append_row t cap ~name ?(masks = []) caps =
+  expect_ok (call t (Wire.Write_op (Directory.Append_row { cap; name; caps; masks })))
+
+let chmod_row t cap ~name ~masks =
+  expect_ok (call t (Wire.Write_op (Directory.Chmod_row { cap; name; masks })))
+
+let delete_row t cap ~name =
+  expect_ok (call t (Wire.Write_op (Directory.Delete_row { cap; name })))
+
+let replace_set t cap rows =
+  expect_ok (call t (Wire.Write_op (Directory.Replace_set { cap; rows })))
+
+let list_dir t ?(column = 0) cap =
+  match call t (Wire.List_req { cap; column }) with
+  | Wire.Listing_rep listing -> listing
+  | _ -> raise (Wire.Dir_error (Wire.Unavailable "unexpected reply"))
+
+let lookup_set t ?(column = 0) items =
+  match call t (Wire.Lookup_req { items; column }) with
+  | Wire.Lookup_rep results -> results
+  | _ -> raise (Wire.Dir_error (Wire.Unavailable "unexpected reply"))
+
+let lookup t ?column cap name =
+  match lookup_set t ?column [ (cap, name) ] with
+  | [ result ] -> result
+  | _ -> raise (Wire.Dir_error (Wire.Unavailable "unexpected reply"))

@@ -1,0 +1,51 @@
+(** Client library for the directory service.
+
+    One [t] per client process; it rides an RPC transport, so server
+    selection uses the locate / port-cache / NOTHERE mechanism — the
+    load-balancing behaviour behind the paper's Figure 8.
+
+    All operations raise {!Wire.Dir_error} on a service-reported error
+    and {!Rpc.Transport.Rpc_failure} when no server answers at all. *)
+
+type t
+
+val make : ?timeout:float -> Rpc.Transport.t -> port:string -> t
+
+val transport : t -> Rpc.Transport.t
+
+(** Updates (Fig. 2). *)
+
+(** [create_dir t ~columns] returns the owner capability of the new
+    directory. *)
+val create_dir : t -> columns:string list -> Capability.t
+
+val delete_dir : t -> Capability.t -> unit
+
+(** [append_row t cap ~name caps] adds a row; [caps] holds one
+    capability per column (short lists are padded). *)
+val append_row :
+  t -> Capability.t -> name:string -> ?masks:int list -> Capability.t list ->
+  unit
+
+val chmod_row : t -> Capability.t -> name:string -> masks:int list -> unit
+
+val delete_row : t -> Capability.t -> name:string -> unit
+
+val replace_set :
+  t -> Capability.t -> (string * Capability.t list) list -> unit
+
+(** Reads. *)
+
+val list_dir : t -> ?column:int -> Capability.t -> Directory.listing
+
+(** [lookup t cap name] is the capability (and its effective mask) bound
+    to [name], or [None]. *)
+val lookup :
+  t -> ?column:int -> Capability.t -> string -> (Capability.t * int) option
+
+(** The paper's "Lookup set": several names resolved in one request. *)
+val lookup_set :
+  t ->
+  ?column:int ->
+  (Capability.t * string) list ->
+  (Capability.t * int) option list

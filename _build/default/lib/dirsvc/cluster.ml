@@ -1,0 +1,255 @@
+type flavor = Group_disk | Group_nvram | Rpc_pair | Nfs_single
+
+type server_slot = {
+  dir_node : Sim.Node.t;
+  bullet_node : Sim.Node.t option;
+  device : Storage.Block_device.t;
+  intent_device : Storage.Block_device.t option;
+  nvram : Group_server.nvram option;
+  mutable group_server : Group_server.t option;
+  mutable rpc_server : Rpc_server.t option;
+  mutable nfs_server : Nfs_server.t option;
+}
+
+type t = {
+  flavor : flavor;
+  engine : Sim.Engine.t;
+  net : Simnet.Network.t;
+  metrics : Sim.Metrics.t;
+  params : Params.t;
+  port : string;
+  slots : server_slot array; (* index = server_id - 1 *)
+  mutable next_client : int;
+}
+
+let flavor t = t.flavor
+
+let engine t = t.engine
+
+let net t = t.net
+
+let metrics t = t.metrics
+
+let params t = t.params
+
+let port t = t.port
+
+let n_servers t = Array.length t.slots
+
+let run_until t time = Sim.Engine.run ~until:time t.engine
+
+let dir_node_id server_id = server_id
+
+let bullet_node_id server_id = 20 + server_id
+
+let gname = "dirgrp"
+
+let make_device t ~name =
+  Storage.Block_device.create t.engine ~metrics:t.metrics ~name
+    ~blocks:t.params.Params.disk_blocks
+    ~block_size:t.params.Params.disk_block_size
+    ~read_ms:t.params.Params.disk_read_ms
+    ~write_ms:t.params.Params.disk_write_ms ()
+
+(* Boot the Bullet server that shares server [i]'s disk. *)
+let boot_bullet t slot =
+  match slot.bullet_node with
+  | None -> ()
+  | Some node ->
+      let nic = Simnet.Network.attach t.net node in
+      let transport = Rpc.Transport.create t.net nic in
+      let cpu = Sim.Resource.create ~name:"bullet-cpu" ~capacity:1 () in
+      ignore
+        (Storage.Bullet.start t.net transport ~device:slot.device
+           ~first_block:(t.params.Params.admin_slots + 1)
+           ~region_blocks:
+             (t.params.Params.disk_blocks - t.params.Params.admin_slots - 1)
+           ~cpu ~cpu_ms:t.params.Params.bullet_cpu_ms ())
+
+let peers t =
+  List.init (n_servers t) (fun i -> (i + 1, dir_node_id (i + 1)))
+
+let boot_dir_server t server_id =
+  let slot = t.slots.(server_id - 1) in
+  match t.flavor with
+  | Group_disk | Group_nvram ->
+      let server =
+        Group_server.start ~params:t.params ~metrics:t.metrics
+          ?nvram:slot.nvram t.net ~server_id ~peers:(peers t)
+          ~node:slot.dir_node ~device:slot.device
+          ~bullet_port:(Storage.Bullet.port_of (bullet_node_id server_id))
+          ~gname ~port:t.port ()
+      in
+      slot.group_server <- Some server
+  | Rpc_pair ->
+      let peer = if server_id = 1 then 2 else 1 in
+      let intent_device =
+        match slot.intent_device with Some d -> d | None -> assert false
+      in
+      let server =
+        Rpc_server.start ~params:t.params ~metrics:t.metrics t.net ~server_id
+          ~peer_node:(dir_node_id peer) ~node:slot.dir_node
+          ~device:slot.device ~intent_device
+          ~bullet_port:(Storage.Bullet.port_of (bullet_node_id server_id))
+          ~port:t.port ()
+      in
+      slot.rpc_server <- Some server
+  | Nfs_single ->
+      let server =
+        Nfs_server.start ~params:t.params ~metrics:t.metrics t.net
+          ~node:slot.dir_node ~device:slot.device ~port:t.port ()
+      in
+      slot.nfs_server <- Some server
+
+let create ?(seed = 7L) ?(params = Params.default) ?servers ?(rails = 1) flavor =
+  let n =
+    match (servers, flavor) with
+    | Some n, (Group_disk | Group_nvram) -> n
+    | None, (Group_disk | Group_nvram) -> 3
+    | _, Rpc_pair -> 2
+    | _, Nfs_single -> 1
+  in
+  let engine = Sim.Engine.create ~seed () in
+  let metrics = Sim.Metrics.create () in
+  let net =
+    Simnet.Network.create engine ~metrics ~latency:params.Params.net_latency
+      ~rails ()
+  in
+  let t =
+    {
+      flavor;
+      engine;
+      net;
+      metrics;
+      params;
+      port = "dirsvc";
+      slots = [||];
+      next_client = 0;
+    }
+  in
+  let slots =
+    Array.init n (fun i ->
+        let server_id = i + 1 in
+        let device =
+          make_device t ~name:(Printf.sprintf "disk%d" server_id)
+        in
+        let intent_device =
+          match flavor with
+          | Rpc_pair ->
+              Some
+                (Storage.Block_device.create engine ~metrics
+                   ~name:(Printf.sprintf "intent%d" server_id)
+                   ~blocks:64 ~block_size:params.Params.disk_block_size
+                   ~read_ms:params.Params.disk_read_ms
+                   ~write_ms:params.Params.intentions_write_ms ())
+          | Group_disk | Group_nvram | Nfs_single -> None
+        in
+        let nvram =
+          match flavor with
+          | Group_nvram ->
+              Some
+                (Storage.Nvram.create ~capacity:params.Params.nvram_capacity
+                   ~size_of:Group_server.log_record_size
+                   ~write_ms:params.Params.nvram_write_ms ())
+          | Group_disk | Rpc_pair | Nfs_single -> None
+        in
+        let bullet_node =
+          match flavor with
+          | Nfs_single -> None
+          | Group_disk | Group_nvram | Rpc_pair ->
+              Some
+                (Sim.Node.create
+                   ~id:(bullet_node_id server_id)
+                   ~name:(Printf.sprintf "bullet%d" server_id))
+        in
+        {
+          dir_node =
+            Sim.Node.create ~id:(dir_node_id server_id)
+              ~name:(Printf.sprintf "dir%d" server_id);
+          bullet_node;
+          device;
+          intent_device;
+          nvram;
+          group_server = None;
+          rpc_server = None;
+          nfs_server = None;
+        })
+  in
+  let t = { t with slots } in
+  Array.iter (boot_bullet t) t.slots;
+  for server_id = 1 to n do
+    boot_dir_server t server_id
+  done;
+  t
+
+let client ?rpc_config t =
+  t.next_client <- t.next_client + 1;
+  let node =
+    Sim.Node.create
+      ~id:(100 + t.next_client)
+      ~name:(Printf.sprintf "client%d" t.next_client)
+  in
+  let nic = Simnet.Network.attach t.net node in
+  let transport = Rpc.Transport.create ?config:rpc_config t.net nic in
+  Client.make transport ~port:t.port
+
+let crash_server t server_id =
+  Sim.Node.crash t.slots.(server_id - 1).dir_node
+
+let restart_server t server_id =
+  let slot = t.slots.(server_id - 1) in
+  if not (Sim.Node.is_alive slot.dir_node) then begin
+    Sim.Node.restart slot.dir_node;
+    boot_dir_server t server_id
+  end
+
+let reboot_server t server_id =
+  crash_server t server_id;
+  restart_server t server_id
+
+let group_server t server_id =
+  match t.slots.(server_id - 1).group_server with
+  | Some s -> s
+  | None -> invalid_arg "Cluster.group_server: not a group deployment"
+
+let store_snapshots t =
+  Array.to_list t.slots
+  |> List.mapi (fun i slot ->
+         let server_id = i + 1 in
+         let store =
+           match (slot.group_server, slot.rpc_server, slot.nfs_server) with
+           | Some s, _, _ -> Group_server.store_snapshot s
+           | None, Some s, _ -> Rpc_server.store_snapshot s
+           | None, None, Some s -> Nfs_server.store_snapshot s
+           | None, None, None -> Directory.empty
+         in
+         (server_id, store))
+
+let serving_servers t =
+  Array.to_list t.slots
+  |> List.mapi (fun i slot ->
+         match slot.group_server with
+         | Some s when Group_server.serving s && Sim.Node.is_alive slot.dir_node
+           ->
+             Some (i + 1)
+         | Some _ | None -> None)
+  |> List.filter_map Fun.id
+
+let device t server_id = t.slots.(server_id - 1).device
+
+let await_serving ?(timeout = 2000.0) t ~count =
+  let deadline = Sim.Engine.now t.engine +. timeout in
+  let rec poll () =
+    if List.length (serving_servers t) >= count then true
+    else if Sim.Engine.now t.engine >= deadline then false
+    else begin
+      Sim.Engine.run ~until:(Sim.Engine.now t.engine +. 20.0) t.engine;
+      poll ()
+    end
+  in
+  poll ()
+
+let bullet_port t server_id =
+  match t.slots.(server_id - 1).bullet_node with
+  | Some node -> Storage.Bullet.port_of (Sim.Node.id node)
+  | None -> invalid_arg "Cluster.bullet_port: no bullet in this flavour"

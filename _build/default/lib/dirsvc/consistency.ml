@@ -1,0 +1,78 @@
+type divergence = { server_a : int; server_b : int; detail : string }
+
+let divergence_to_string d =
+  Printf.sprintf "servers %d and %d diverge: %s" d.server_a d.server_b d.detail
+
+let describe_diff store_a store_b =
+  let ids store = List.map fst (Directory.Store.bindings store) in
+  let only_a =
+    List.filter (fun id -> not (Directory.Store.mem id store_b)) (ids store_a)
+  in
+  let only_b =
+    List.filter (fun id -> not (Directory.Store.mem id store_a)) (ids store_b)
+  in
+  if only_a <> [] || only_b <> [] then
+    Printf.sprintf "directory sets differ (only-left=[%s] only-right=[%s])"
+      (String.concat "," (List.map string_of_int only_a))
+      (String.concat "," (List.map string_of_int only_b))
+  else begin
+    let differing =
+      List.filter
+        (fun (id, dir) ->
+          match Directory.Store.find_opt id store_b with
+          | Some other -> dir <> other
+          | None -> true)
+        (Directory.Store.bindings store_a)
+    in
+    match differing with
+    | (id, dir) :: _ ->
+        Format.asprintf "directory %d differs (left: %a)" id Directory.pp_dir
+          dir
+    | [] -> "stores compare unequal but no witness found"
+  end
+
+let check_convergence snapshots =
+  let rec pairwise = function
+    | [] | [ _ ] -> Ok ()
+    | (id_a, store_a) :: ((id_b, store_b) :: _ as rest) ->
+        if Directory.equal_store store_a store_b then pairwise rest
+        else
+          Error
+            {
+              server_a = id_a;
+              server_b = id_b;
+              detail = describe_diff store_a store_b;
+            }
+  in
+  pairwise snapshots
+
+let replay log =
+  List.fold_left
+    (fun store { Group_server.a_useq; a_op; _ } ->
+      match Directory.apply store ~seqno:a_useq a_op with
+      | Ok (store', _) -> store'
+      | Error _ -> store)
+    Directory.empty log
+
+let check_exactly_once log =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | [] -> Ok ()
+    | { Group_server.a_origin; a_uid; a_useq; _ } :: rest ->
+        let key = (a_origin, a_uid) in
+        if Hashtbl.mem seen key then
+          Error
+            (Printf.sprintf
+               "request %d.%d applied twice (second time at useq %d)"
+               a_origin a_uid a_useq)
+        else begin
+          Hashtbl.add seen key ();
+          go rest
+        end
+  in
+  go log
+
+let check_replay ~log live_store =
+  let replayed = replay log in
+  if Directory.equal_store replayed live_store then Ok ()
+  else Error (describe_diff replayed live_store)

@@ -1,0 +1,256 @@
+type dir_id = int
+
+let column_right i =
+  if i < 0 || i > 3 then invalid_arg "Directory.column_right";
+  1 lsl i
+
+let right_modify = 0x10
+
+let right_delete = 0x20
+
+let all_columns_mask = 0x0F
+
+type row = { name : string; caps : Capability.t array; masks : int array }
+
+type dir = {
+  columns : string array;
+  rows : row list;
+  seqno : int;
+  secret : Capability.secret;
+}
+
+module Store = Map.Make (Int)
+
+type store = dir Store.t
+
+let empty = Store.empty
+
+type op =
+  | Create_dir of {
+      columns : string list;
+      secret : Capability.secret;
+      hint : dir_id option;
+    }
+  | Delete_dir of { cap : Capability.t }
+  | Append_row of {
+      cap : Capability.t;
+      name : string;
+      caps : Capability.t list;
+      masks : int list;
+    }
+  | Chmod_row of { cap : Capability.t; name : string; masks : int list }
+  | Delete_row of { cap : Capability.t; name : string }
+  | Replace_set of {
+      cap : Capability.t;
+      rows : (string * Capability.t list) list;
+    }
+
+type error =
+  | Not_found
+  | Already_exists
+  | Bad_capability
+  | No_permission
+  | Bad_request of string
+
+let error_to_string = function
+  | Not_found -> "not found"
+  | Already_exists -> "already exists"
+  | Bad_capability -> "bad capability"
+  | No_permission -> "no permission"
+  | Bad_request s -> "bad request: " ^ s
+
+type op_result = Created of dir_id | Updated
+
+(* Authorise [cap] against the stored directory; [need] is the rights
+   requirement. *)
+let authorise store cap ~need =
+  match Store.find_opt cap.Capability.obj store with
+  | None -> Error Not_found
+  | Some dir ->
+      if not (Capability.validate cap dir.secret) then Error Bad_capability
+      else if not (Capability.has_rights cap ~need) then Error No_permission
+      else Ok dir
+
+let lowest_free_id store =
+  let rec go i = if Store.mem i store then go (i + 1) else i in
+  go 0
+
+let pad_to n filler list =
+  let len = List.length list in
+  if len > n then None
+  else Some (Array.init n (fun i -> if i < len then List.nth list i else filler))
+
+let ( let* ) = Result.bind
+
+let apply store ~seqno op =
+  match op with
+  | Create_dir { columns; secret; hint } ->
+      if columns = [] || List.length columns > 4 then
+        Error (Bad_request "directories have 1 to 4 columns")
+      else begin
+        match hint with
+        | Some id when Store.mem id store -> Error Already_exists
+        | Some id ->
+            let dir =
+              { columns = Array.of_list columns; rows = []; seqno; secret }
+            in
+            Ok (Store.add id dir store, Created id)
+        | None ->
+            let id = lowest_free_id store in
+            let dir =
+              { columns = Array.of_list columns; rows = []; seqno; secret }
+            in
+            Ok (Store.add id dir store, Created id)
+      end
+  | Delete_dir { cap } ->
+      let* _dir = authorise store cap ~need:right_delete in
+      Ok (Store.remove cap.obj store, Updated)
+  | Append_row { cap; name; caps; masks } ->
+      let* dir = authorise store cap ~need:right_modify in
+      if name = "" then Error (Bad_request "empty name")
+      else if List.exists (fun r -> r.name = name) dir.rows then
+        Error Already_exists
+      else begin
+        let ncols = Array.length dir.columns in
+        let null_cap =
+          Capability.owner ~port:"" ~obj:0 0L
+        in
+        match (pad_to ncols null_cap caps, pad_to ncols Capability.all_rights masks) with
+        | Some caps, Some masks ->
+            let row = { name; caps; masks } in
+            let dir = { dir with rows = dir.rows @ [ row ]; seqno } in
+            Ok (Store.add cap.obj dir store, Updated)
+        | None, _ | _, None -> Error (Bad_request "more entries than columns")
+      end
+  | Chmod_row { cap; name; masks } ->
+      let* dir = authorise store cap ~need:right_modify in
+      let ncols = Array.length dir.columns in
+      let* masks =
+        match pad_to ncols Capability.all_rights masks with
+        | Some m -> Ok m
+        | None -> Error (Bad_request "more masks than columns")
+      in
+      if List.exists (fun r -> r.name = name) dir.rows then begin
+        let rows =
+          List.map (fun r -> if r.name = name then { r with masks } else r) dir.rows
+        in
+        Ok (Store.add cap.obj { dir with rows; seqno } store, Updated)
+      end
+      else Error Not_found
+  | Delete_row { cap; name } ->
+      let* dir = authorise store cap ~need:right_modify in
+      if List.exists (fun r -> r.name = name) dir.rows then begin
+        let rows = List.filter (fun r -> r.name <> name) dir.rows in
+        Ok (Store.add cap.obj { dir with rows; seqno } store, Updated)
+      end
+      else Error Not_found
+  | Replace_set { cap; rows = replacements } ->
+      let* dir = authorise store cap ~need:right_modify in
+      let ncols = Array.length dir.columns in
+      let missing =
+        List.find_opt
+          (fun (name, _) -> not (List.exists (fun r -> r.name = name) dir.rows))
+          replacements
+      in
+      let oversized =
+        List.find_opt (fun (_, caps) -> List.length caps > ncols) replacements
+      in
+      (match (missing, oversized) with
+      | Some (name, _), _ -> Error (Bad_request ("no such row: " ^ name))
+      | None, Some (name, _) ->
+          Error (Bad_request ("too many capabilities for row " ^ name))
+      | None, None ->
+          let null_cap = Capability.owner ~port:"" ~obj:0 0L in
+          let replace row =
+            match List.assoc_opt row.name replacements with
+            | None -> row
+            | Some caps -> (
+                match pad_to ncols null_cap caps with
+                | Some caps -> { row with caps }
+                | None -> row (* excluded by the oversized check above *))
+          in
+          let dir = { dir with rows = List.map replace dir.rows; seqno } in
+          Ok (Store.add cap.obj dir store, Updated))
+
+let dir_id_of_op store = function
+  | Create_dir { hint = Some id; _ } -> Some id
+  | Create_dir { hint = None; _ } -> Some (lowest_free_id store)
+  | Delete_dir { cap }
+  | Append_row { cap; _ }
+  | Chmod_row { cap; _ }
+  | Delete_row { cap; _ }
+  | Replace_set { cap; _ } ->
+      Some cap.obj
+
+type listing = {
+  listed_columns : string list;
+  entries : (string * Capability.t * int) list;
+}
+
+let check_column dir column =
+  if column < 0 || column >= Array.length dir.columns then
+    Error (Bad_request "no such column")
+  else Ok ()
+
+let list_dir store ~cap ~column =
+  let* dir = authorise store cap ~need:(column_right column) in
+  let* () = check_column dir column in
+  let entries =
+    List.map (fun r -> (r.name, r.caps.(column), r.masks.(column))) dir.rows
+  in
+  Ok { listed_columns = Array.to_list dir.columns; entries }
+
+let lookup store ~cap ~name ~column =
+  let* dir = authorise store cap ~need:(column_right column) in
+  let* () = check_column dir column in
+  match List.find_opt (fun r -> r.name = name) dir.rows with
+  | Some row -> Ok (row.caps.(column), row.masks.(column))
+  | None -> Error Not_found
+
+(* ---- Codec -------------------------------------------------------- *)
+
+let encode_dir dir =
+  let w = Storage.Codec.Writer.create () in
+  Storage.Codec.Writer.u32 w (Array.length dir.columns);
+  Array.iter (Storage.Codec.Writer.string w) dir.columns;
+  Storage.Codec.Writer.u32 w dir.seqno;
+  Storage.Codec.Writer.i64 w dir.secret;
+  Storage.Codec.Writer.list w
+    (fun w row ->
+      Storage.Codec.Writer.string w row.name;
+      Storage.Codec.Writer.u32 w (Array.length row.caps);
+      Array.iter (Storage.Cap_codec.write w) row.caps;
+      Array.iter (Storage.Codec.Writer.u32 w) row.masks)
+    dir.rows;
+  Bytes.to_string (Storage.Codec.Writer.contents w)
+
+let decode_dir data =
+  let r = Storage.Codec.Reader.of_bytes (Bytes.of_string data) in
+  let ncols = Storage.Codec.Reader.u32 r in
+  let columns = Array.init ncols (fun _ -> Storage.Codec.Reader.string r) in
+  let seqno = Storage.Codec.Reader.u32 r in
+  let secret = Storage.Codec.Reader.i64 r in
+  let rows =
+    Storage.Codec.Reader.list r (fun r ->
+        let name = Storage.Codec.Reader.string r in
+        let n = Storage.Codec.Reader.u32 r in
+        let caps = Array.init n (fun _ -> Storage.Cap_codec.read r) in
+        let masks = Array.init n (fun _ -> Storage.Codec.Reader.u32 r) in
+        { name; caps; masks })
+  in
+  { columns; rows; seqno; secret }
+
+let digest dir =
+  let mix z c =
+    let z = Int64.add z (Int64.of_int (Char.code c)) in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    Int64.logxor z (Int64.shift_right_logical z 27)
+  in
+  String.fold_left mix 0x9E3779B97F4A7C15L (encode_dir dir)
+
+let equal_store a b = Store.equal (fun d1 d2 -> d1 = d2) a b
+
+let pp_dir fmt dir =
+  Format.fprintf fmt "dir(seq=%d, cols=[%s], rows=[%s])" dir.seqno
+    (String.concat ";" (Array.to_list dir.columns))
+    (String.concat ";" (List.map (fun r -> r.name) dir.rows))

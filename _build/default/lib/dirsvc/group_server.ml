@@ -1,0 +1,752 @@
+type log_record = { useq : int; dir_id : int; op : Directory.op }
+
+let log_record_size r = 16 + Wire.op_size r.op
+
+type nvram = log_record Storage.Nvram.t
+
+let admin_port node_id = Printf.sprintf "dira@%d" node_id
+
+type applied = {
+  a_useq : int;
+  a_origin : int;
+  a_uid : int;
+  a_op : Directory.op;
+}
+
+type t = {
+  params : Params.t;
+  metrics : Sim.Metrics.t option;
+  net : Simnet.Network.t;
+  node : Sim.Node.t;
+  transport : Rpc.Transport.t;
+  server_id : int;
+  peers : (int * int) list; (* (server_id, node_id), all servers *)
+  device : Storage.Block_device.t;
+  table : Storage.Object_table.t;
+  bullet_port : string;
+  gname : string;
+  port : string;
+  cpu : Sim.Resource.t;
+  nvram : nvram option;
+  (* Replicated state. *)
+  mutable store : Directory.store;
+  mutable useq : int;
+  mutable file_caps : Capability.t Directory.Store.t;
+      (* dir -> Bullet file currently holding it (in-core copy of the
+         object table's capabilities, for retiring old versions) *)
+  (* Group state. *)
+  mutable group : Group.Member.t option;
+  mutable gprocessed : int; (* group position applied *)
+  mutable serving : bool;
+  mutable stayed_up : bool;
+  applied : Sim.Condvar.t;
+  results :
+    (int * int, (Directory.op_result, Directory.error) result) Hashtbl.t;
+  mutable next_uid : int;
+  mutable next_secret : int;
+  mutable last_update : float; (* for the NVRAM idle flush *)
+  mutable op_log : applied list; (* newest first; see applied_log *)
+  mutable forced_recovery : bool; (* administrator's escape hatch *)
+}
+
+let server_id t = t.server_id
+
+let serving t = t.serving
+
+let useq t = t.useq
+
+let store_snapshot t = t.store
+
+let view t =
+  match t.group with
+  | Some g when t.serving -> Group.Member.members g
+  | Some _ | None -> []
+
+let n_servers t = List.length t.peers
+
+let majority t = (n_servers t / 2) + 1
+
+let majority_ok t =
+  t.serving
+  &&
+  match t.group with
+  | Some g -> List.length (Group.Member.members g) >= majority t
+  | None -> false
+
+let tracef t fmt = Sim.Engine.tracef (Simnet.Network.engine t.net) fmt
+
+let fresh_secret t =
+  t.next_secret <- t.next_secret + 1;
+  Capability.mint_secret
+    (Int64.of_int ((Sim.Node.id t.node * 1_000_000_007) + t.next_secret))
+
+let fresh_uid t =
+  t.next_uid <- t.next_uid + 1;
+  t.next_uid
+
+let current_vector t =
+  let up =
+    match t.group with
+    | Some g when t.serving ->
+        let member_nodes = Group.Member.members g in
+        fun sid -> List.exists (fun (s, n) -> s = sid && List.mem n member_nodes) t.peers
+    | Some _ | None -> fun sid -> sid = t.server_id
+  in
+  Array.init (n_servers t) (fun i -> up (i + 1))
+
+let write_commit_block t ~recovering =
+  Storage.Commit_block.write t.device
+    {
+      Storage.Commit_block.config_vector = current_vector t;
+      seqno = t.useq;
+      recovering;
+    }
+
+(* ---- Commit paths -------------------------------------------------- *)
+
+let retire_old_file t dir_id =
+  match Directory.Store.find_opt dir_id t.file_caps with
+  | Some old_cap ->
+      t.file_caps <- Directory.Store.remove dir_id t.file_caps;
+      (* Off the critical path, per Fig. 5's "remove old Bullet files". *)
+      Sim.Proc.spawn ~name:"retire-file" (fun () ->
+          try Storage.Bullet.delete t.transport ~port:t.bullet_port old_cap
+          with Storage.Bullet.Error _ | Rpc.Transport.Rpc_failure _ -> ())
+  | None -> ()
+
+(* The Bullet server can be transiently unlocatable when all its worker
+   threads are busy; a directory server must ride that out, not die. *)
+let rec bullet_create_with_retry t data tries =
+  match Storage.Bullet.create t.transport ~port:t.bullet_port data with
+  | cap -> cap
+  | exception Rpc.Transport.Rpc_failure _ when tries > 0 ->
+      Sim.Proc.sleep 25.0;
+      bullet_create_with_retry t data (tries - 1)
+
+(* Persist directory [dir_id]'s current state: new Bullet file + object
+   table entry, or tombstone + commit block on deletion. *)
+let persist_dir_to_disk t dir_id =
+  match Directory.Store.find_opt dir_id t.store with
+  | Some dir ->
+      let data = Directory.encode_dir dir in
+      let cap = bullet_create_with_retry t data 8 in
+      Storage.Object_table.write_entry t.table ~dir_id
+        { Storage.Object_table.file_cap = cap; seqno = dir.Directory.seqno };
+      retire_old_file t dir_id;
+      t.file_caps <- Directory.Store.add dir_id cap t.file_caps
+  | None ->
+      Storage.Object_table.clear_entry t.table ~dir_id;
+      (* The deletion must leave a trace of the update somewhere: the
+         sequence number in the commit block (paper §3). *)
+      write_commit_block t ~recovering:false;
+      retire_old_file t dir_id
+
+let nvram_flush t nv =
+  let records = Storage.Nvram.take_all nv in
+  let dirty =
+    List.sort_uniq compare (List.map (fun r -> r.dir_id) records)
+  in
+  List.iter (persist_dir_to_disk t) dirty
+
+let nvram_append_with_flush t nv record =
+  if not (Storage.Nvram.append nv record) then begin
+    nvram_flush t nv;
+    if not (Storage.Nvram.append nv record) then
+      failwith "dirsvc: NVRAM record larger than the whole log"
+  end
+
+let commit_update t ~dir_id ~op =
+  t.last_update <- Sim.Proc.now ();
+  match t.nvram with
+  | None -> persist_dir_to_disk t dir_id
+  | Some nv -> (
+      let record = { useq = t.useq; dir_id; op } in
+      match (op : Directory.op) with
+      | Directory.Delete_row { cap; name } ->
+          (* The /tmp effect: if the append this delete cancels is still
+             in the log, both records vanish — no disk I/O at all. *)
+          let cancelled =
+            Storage.Nvram.remove_if nv (fun r ->
+                match r.op with
+                | Directory.Append_row { cap = c; name = n; _ } ->
+                    c.Capability.obj = cap.Capability.obj && n = name
+                | _ -> false)
+          in
+          if cancelled = [] then nvram_append_with_flush t nv record
+      | Directory.Create_dir _ | Directory.Delete_dir _
+      | Directory.Append_row _ | Directory.Chmod_row _
+      | Directory.Replace_set _ ->
+          nvram_append_with_flush t nv record)
+
+(* ---- Applying ordered updates -------------------------------------- *)
+
+let execute_op t ~origin ~uid op =
+  let useq' = t.useq + 1 in
+  let outcome = Directory.apply t.store ~seqno:useq' op in
+  (match outcome with
+  | Ok (store', result) ->
+      let dir_id =
+        match result with
+        | Directory.Created id -> id
+        | Directory.Updated -> (
+            match Directory.dir_id_of_op t.store op with
+            | Some id -> id
+            | None -> assert false)
+      in
+      t.useq <- useq';
+      t.store <- store';
+      t.op_log <- { a_useq = useq'; a_origin = origin; a_uid = uid; a_op = op } :: t.op_log;
+      commit_update t ~dir_id ~op
+  | Error _ -> ());
+  if origin = Sim.Node.id t.node then begin
+    let simplified =
+      match outcome with Ok (_, result) -> Ok result | Error e -> Error e
+    in
+    Hashtbl.replace t.results (origin, uid) simplified
+  end
+
+let bump_processed t seqno =
+  if seqno > t.gprocessed then t.gprocessed <- seqno;
+  Sim.Condvar.broadcast t.applied
+
+let process_delivery t = function
+  | Group.Types.Msg { seqno; origin = _; payload } ->
+      (if seqno > t.gprocessed then
+         match payload with
+         | Wire.Dir_op_msg { origin; uid; op } -> execute_op t ~origin ~uid op
+         | _ -> ());
+      bump_processed t seqno
+  | Group.Types.Joined { seqno; _ } | Group.Types.Departed { seqno; _ } ->
+      bump_processed t seqno
+
+(* ---- Client-facing handlers ---------------------------------------- *)
+
+let await_applied t pred =
+  try
+    Sim.Condvar.await ~timeout:4000.0 t.applied pred;
+    true
+  with Sim.Proc.Timeout -> false
+
+let handle_read t serve =
+  if not (majority_ok t) then Wire.Err_rep Wire.No_majority
+  else begin
+    match t.group with
+    | None -> Wire.Err_rep (Wire.Unavailable "no group")
+    | Some g ->
+        (* Fig. 5's read path: any buffered (sent but not yet applied)
+           messages must be applied before we answer, otherwise a client
+           could read past its own write performed via another server. *)
+        let target = (Group.Member.info g).highest_seen in
+        if not (await_applied t (fun () -> t.gprocessed >= target)) then
+          Wire.Err_rep (Wire.Unavailable "catch-up timeout")
+        else begin
+          Sim.Resource.use t.cpu t.params.cpu_read_ms;
+          serve t.store
+        end
+  end
+
+let handle_write t op =
+  if not (majority_ok t) then Wire.Err_rep Wire.No_majority
+  else begin
+    match t.group with
+    | None -> Wire.Err_rep (Wire.Unavailable "no group")
+    | Some g -> (
+        (* The initiator generates the check field: every replica must
+           mint the same capability (paper §3.1). *)
+        let op =
+          match op with
+          | Directory.Create_dir { columns; hint; _ } ->
+              Directory.Create_dir { columns; secret = fresh_secret t; hint }
+          | other -> other
+        in
+        Sim.Resource.use t.cpu t.params.cpu_write_ms;
+        let origin = Sim.Node.id t.node in
+        let uid = fresh_uid t in
+        match
+          Group.Member.send g (Wire.Dir_op_msg { origin; uid; op })
+        with
+        | exception Group.Types.Group_failure reason ->
+            Wire.Err_rep (Wire.Unavailable ("group: " ^ reason))
+        | () ->
+            if
+              not
+                (await_applied t (fun () -> Hashtbl.mem t.results (origin, uid)))
+            then Wire.Err_rep (Wire.Unavailable "execution timeout")
+            else begin
+              let result = Hashtbl.find t.results (origin, uid) in
+              Hashtbl.remove t.results (origin, uid);
+              match result with
+              | Ok (Directory.Created id) ->
+                  let secret =
+                    match op with
+                    | Directory.Create_dir { secret; _ } -> secret
+                    | _ -> assert false
+                  in
+                  Wire.Cap_rep (Capability.owner ~port:t.port ~obj:id secret)
+              | Ok Directory.Updated -> Wire.Ok_rep
+              | Error e -> Wire.Err_rep (Wire.Op_error e)
+            end)
+  end
+
+let client_handler t ~client:_ body =
+  match body with
+  | Wire.Dir_request (Wire.Write_op op) -> Wire.Dir_reply (handle_write t op)
+  | Wire.Dir_request (Wire.List_req { cap; column }) ->
+      Wire.Dir_reply
+        (handle_read t (fun store ->
+             match Directory.list_dir store ~cap ~column with
+             | Ok listing -> Wire.Listing_rep listing
+             | Error e -> Wire.Err_rep (Wire.Op_error e)))
+  | Wire.Dir_request (Wire.Lookup_req { items; column }) ->
+      Wire.Dir_reply
+        (handle_read t (fun store ->
+             let resolve (cap, name) =
+               match Directory.lookup store ~cap ~name ~column with
+               | Ok (cap, mask) -> Some (cap, mask)
+               | Error _ -> None
+             in
+             Wire.Lookup_rep (List.map resolve items)))
+  | _ -> Wire.Dir_reply (Wire.Err_rep (Wire.Unavailable "bad request"))
+
+(* ---- Admin (recovery) handlers -------------------------------------- *)
+
+let my_mourned t =
+  match Storage.Commit_block.decode (Storage.Block_device.peek t.device 0) with
+  | Some cb -> Skeen.mourned_of_vector cb.Storage.Commit_block.config_vector
+  | None | (exception Storage.Codec.Corrupt _) -> Skeen.Int_set.empty
+
+let admin_handler t ~client:_ body =
+  match body with
+  | Wire.Exchange_req _ ->
+      Wire.Exchange_rep
+        {
+          server = t.server_id;
+          mourned = Skeen.Int_set.elements (my_mourned t);
+          useq = t.useq;
+          stayed_up = t.stayed_up;
+          serving = majority_ok t;
+        }
+  | Wire.Fetch_state_req { required; have } ->
+      (* Quiesce to the requester's join point before snapshotting, so
+         store + watermark form a consistent cut. *)
+      if not (await_applied t (fun () -> t.gprocessed >= required)) then
+        Wire.Dir_reply (Wire.Err_rep (Wire.Unavailable "fetch quiesce timeout"))
+      else begin
+        (* Incremental transfer: only directories whose seqno differs
+           from the requester's inventory travel; the donor's state is
+           authoritative, so a mismatch in either direction resends. *)
+        let inventory = Hashtbl.create 32 in
+        List.iter
+          (fun (dir_id, seqno, digest) ->
+            Hashtbl.replace inventory dir_id (seqno, digest))
+          have;
+        let changed =
+          Directory.Store.filter
+            (fun dir_id dir ->
+              match Hashtbl.find_opt inventory dir_id with
+              | Some (seqno, digest) ->
+                  seqno <> dir.Directory.seqno
+                  || not (Int64.equal digest (Directory.digest dir))
+              | None -> true)
+            t.store
+        in
+        let deleted =
+          List.filter_map
+            (fun (dir_id, _, _) ->
+              if Directory.Store.mem dir_id t.store then None else Some dir_id)
+            have
+        in
+        Wire.Fetch_state_rep
+          {
+            changed = Wire.encode_store changed;
+            deleted;
+            useq = t.useq;
+            watermark = t.gprocessed;
+          }
+      end
+  | _ -> Wire.Dir_reply (Wire.Err_rep (Wire.Unavailable "bad admin request"))
+
+(* ---- Boot-time state loading ---------------------------------------- *)
+
+let load_disk_state t =
+  let commit =
+    match Storage.Commit_block.decode (Storage.Block_device.peek t.device 0) with
+    | cb -> cb
+    | exception Storage.Codec.Corrupt _ -> None
+  in
+  let crashed_during_recovery =
+    match commit with Some cb -> cb.Storage.Commit_block.recovering | None -> false
+  in
+  (* Load every directory named by the object table from Bullet. *)
+  let entries = Storage.Object_table.scan t.table in
+  List.iter
+    (fun (dir_id, { Storage.Object_table.file_cap; _ }) ->
+      match Storage.Bullet.read t.transport ~port:t.bullet_port file_cap with
+      | data ->
+          let dir = Directory.decode_dir data in
+          t.store <- Directory.Store.add dir_id dir t.store;
+          t.file_caps <- Directory.Store.add dir_id file_cap t.file_caps
+      | exception (Storage.Bullet.Error _ | Rpc.Transport.Rpc_failure _) ->
+          tracef t "dirsvc %d: lost directory %d (bullet file unreadable)"
+            t.server_id dir_id)
+    entries;
+  let max_dir_seqno =
+    Directory.Store.fold
+      (fun _ dir acc -> max acc dir.Directory.seqno)
+      t.store 0
+  in
+  let commit_seqno =
+    match commit with Some cb -> cb.Storage.Commit_block.seqno | None -> 0
+  in
+  t.useq <- max commit_seqno max_dir_seqno;
+  (* Replay the NVRAM log (reliable medium: it survived the crash). *)
+  (match t.nvram with
+  | None -> ()
+  | Some nv ->
+      List.iter
+        (fun record ->
+          let already_applied =
+            match Directory.Store.find_opt record.dir_id t.store with
+            | Some dir -> dir.Directory.seqno >= record.useq
+            | None -> (
+                (* Deleted dirs leave no trace but the useq. *)
+                match record.op with
+                | Directory.Delete_dir _ -> t.useq >= record.useq
+                | _ -> false)
+          in
+          if not already_applied then
+            match Directory.apply t.store ~seqno:record.useq record.op with
+            | Ok (store', _) ->
+                t.store <- store';
+                t.useq <- max t.useq record.useq
+            | Error _ -> ())
+        (Storage.Nvram.peek_all nv));
+  if crashed_during_recovery then begin
+    (* Crash during recovery: our state may mix old and new directory
+       versions. Zero the sequence number so nobody recovers from us
+       (paper §3). *)
+    tracef t "dirsvc %d: crashed during recovery; state untrusted" t.server_id;
+    t.useq <- 0
+  end
+
+(* ---- Recovery (Fig. 6) ---------------------------------------------- *)
+
+let group_config t =
+  let resilience =
+    match t.params.Params.resilience_override with
+    | Some r -> r
+    | None -> n_servers t - 1
+  in
+  {
+    Group.Types.default_config with
+    resilience;
+    dissemination = t.params.Params.dissemination;
+  }
+
+let leave_group t =
+  (match t.group with
+  | Some g -> ( try Group.Member.leave g with Group.Types.Group_failure _ -> ())
+  | None -> ());
+  t.group <- None
+
+let exchange_with_peers t member_nodes =
+  let mine =
+    {
+      Skeen.server = t.server_id;
+      mourned = my_mourned t;
+      useq = t.useq;
+      stayed_up = t.stayed_up;
+      serving = false (* we are recovering *);
+    }
+  in
+  let others =
+    List.filter_map
+      (fun (sid, node_id) ->
+        if sid = t.server_id || not (List.mem node_id member_nodes) then None
+        else
+          match
+            Rpc.Transport.trans t.transport ~port:(admin_port node_id)
+              ~timeout:100.0
+              (Wire.Exchange_req { server = t.server_id })
+          with
+          | Wire.Exchange_rep { server; mourned; useq; stayed_up; serving } ->
+              Some
+                {
+                  Skeen.server;
+                  mourned = Skeen.Int_set.of_list mourned;
+                  useq;
+                  stayed_up;
+                  serving;
+                }
+          | _ | (exception Rpc.Transport.Rpc_failure _) -> None)
+      t.peers
+  in
+  mine :: others
+
+let fetch_state_from t ~donor_node ~join_base =
+  let have =
+    Directory.Store.fold
+      (fun dir_id dir acc ->
+        (dir_id, dir.Directory.seqno, Directory.digest dir) :: acc)
+      t.store []
+  in
+  match
+    Rpc.Transport.trans t.transport ~port:(admin_port donor_node)
+      ~timeout:3000.0
+      (Wire.Fetch_state_req { required = join_base; have })
+  with
+  | Wire.Fetch_state_rep { changed; deleted; useq; watermark } ->
+      let changed = Wire.decode_store changed in
+      let merged =
+        Directory.Store.union (fun _ donor_dir _mine -> Some donor_dir) changed
+          (List.fold_left
+             (fun store dir_id -> Directory.Store.remove dir_id store)
+             t.store deleted)
+      in
+      Some (merged, useq, watermark)
+  | _ | (exception Rpc.Transport.Rpc_failure _) -> None
+
+(* Rewrite our whole disk image from the fetched store. Recovery-time
+   I/O; not on any client's critical path. *)
+let reinstall_disk_state t =
+  let old_caps = t.file_caps in
+  t.file_caps <- Directory.Store.empty;
+  (* Clear slots that no longer exist. *)
+  Directory.Store.iter
+    (fun dir_id _ ->
+      if not (Directory.Store.mem dir_id t.store) then
+        Storage.Object_table.clear_entry t.table ~dir_id)
+    old_caps;
+  Directory.Store.iter
+    (fun dir_id dir ->
+      let data = Directory.encode_dir dir in
+      let cap = bullet_create_with_retry t data 8 in
+      Storage.Object_table.write_entry t.table ~dir_id
+        { Storage.Object_table.file_cap = cap; seqno = dir.Directory.seqno };
+      t.file_caps <- Directory.Store.add dir_id cap t.file_caps)
+    t.store;
+  Directory.Store.iter
+    (fun _ old_cap ->
+      try Storage.Bullet.delete t.transport ~port:t.bullet_port old_cap
+      with Storage.Bullet.Error _ | Rpc.Transport.Rpc_failure _ -> ())
+    old_caps;
+  match t.nvram with
+  | None -> ()
+  | Some nv -> ignore (Storage.Nvram.take_all nv)
+
+let all_server_ids t = List.map fst t.peers
+
+let rec run_recovery t ~attempt =
+  leave_group t;
+  (* Stagger retries so concurrent creators converge. *)
+  Sim.Proc.sleep
+    (10.0
+    +. (float_of_int t.server_id *. 7.0)
+    +. (float_of_int attempt *. 13.0));
+  let config = group_config t in
+  let nic = Rpc.Transport.nic t.transport in
+  let g =
+    match
+      Group.Member.join_group ?metrics:t.metrics ~config t.net nic
+        ~gname:t.gname
+    with
+    | g -> g
+    | exception Group.Types.Join_failed _ ->
+        Group.Member.create_group ?metrics:t.metrics ~config t.net nic
+          ~gname:t.gname
+  in
+  t.group <- Some g;
+  let join_base = (Group.Member.info g).next_deliver - 1 in
+  (* Wait for a majority to assemble (Fig. 6's waiting loop). *)
+  let deadline = Sim.Proc.now () +. 500.0 in
+  let rec wait_majority () =
+    if List.length (Group.Member.members g) >= majority t then true
+    else if Sim.Proc.now () > deadline then false
+    else begin
+      Sim.Proc.sleep 15.0;
+      wait_majority ()
+    end
+  in
+  if not (wait_majority ()) then run_recovery t ~attempt:(attempt + 1)
+  else begin
+    let rec attempt_exchange tries =
+      let member_nodes = Group.Member.members g in
+      let present = exchange_with_peers t member_nodes in
+      let verdict = Skeen.decide ~all:(all_server_ids t) ~present in
+      let verdict =
+        (* Administrator override: accept the best reachable data even
+           when the last-to-fail set is not covered. *)
+        match verdict with
+        | Skeen.Wait_for _ when t.forced_recovery ->
+            let donor =
+              List.fold_left
+                (fun best p ->
+                  match best with
+                  | None -> Some p
+                  | Some b ->
+                      if
+                        p.Skeen.useq > b.Skeen.useq
+                        || (p.Skeen.useq = b.Skeen.useq
+                            && p.Skeen.server < b.Skeen.server)
+                      then Some p
+                      else best)
+                None present
+            in
+            (match donor with
+            | Some d ->
+                tracef t
+                  "dirsvc %d: FORCED recovery from server %d (operator override)"
+                  t.server_id d.Skeen.server;
+                Skeen.Recover
+                  { donor = d.Skeen.server; last_set = Skeen.Int_set.empty }
+            | None -> verdict)
+        | _ -> verdict
+      in
+      match verdict with
+      | Skeen.Recover { donor; _ } ->
+          let ok =
+            if donor = t.server_id then begin
+              t.gprocessed <- max t.gprocessed join_base;
+              true
+            end
+            else begin
+              (* Always adopt the donor's state, even when our own
+                 sequence number is equal or higher: a rebooted server
+                 may carry an uncommitted suffix that must be
+                 discarded. The transfer is incremental, so an
+                 already-identical store costs almost nothing. *)
+              let donor_node = List.assoc donor t.peers in
+              (* Mark recovery in progress: a crash between here and the
+                 final commit-block write leaves mixed state behind. *)
+              Storage.Commit_block.write t.device
+                {
+                  Storage.Commit_block.config_vector = current_vector t;
+                  seqno = t.useq;
+                  recovering = true;
+                };
+              match fetch_state_from t ~donor_node ~join_base with
+              | Some (store, useq, watermark) ->
+                  t.store <- store;
+                  t.useq <- useq;
+                  t.gprocessed <- max watermark join_base;
+                  t.op_log <- [];
+                  reinstall_disk_state t;
+                  true
+              | None -> false
+            end
+          in
+          if not ok then run_recovery t ~attempt:(attempt + 1)
+          else begin
+            t.serving <- true;
+            t.stayed_up <- true;
+            t.forced_recovery <- false;
+            write_commit_block t ~recovering:false;
+            tracef t "dirsvc %d: recovered, view=[%s] useq=%d" t.server_id
+              (String.concat ","
+                 (List.map string_of_int (Group.Member.members g)))
+              t.useq
+          end
+      | Skeen.Wait_for missing ->
+          tracef t "dirsvc %d: waiting for last set [%s]" t.server_id
+            (String.concat ","
+               (List.map string_of_int (Skeen.Int_set.elements missing)));
+          if tries > 6 then run_recovery t ~attempt:(attempt + 1)
+          else begin
+            Sim.Proc.sleep 60.0;
+            attempt_exchange (tries + 1)
+          end
+      | Skeen.No_majority -> run_recovery t ~attempt:(attempt + 1)
+    in
+    attempt_exchange 0
+  end
+
+(* ---- The group thread (Fig. 5 bottom + recovery trigger) ------------ *)
+
+let group_thread t () =
+  while true do
+    if not t.serving then run_recovery t ~attempt:0
+    else begin
+      match t.group with
+      | None -> t.serving <- false
+      | Some g -> (
+          match Group.Member.receive g with
+          | delivery -> process_delivery t delivery
+          | exception Group.Types.Group_failure _ -> (
+              (* Rebuild the group; with a majority we continue, else we
+                 fall back to full recovery (Fig. 5's group thread). *)
+              match Group.Member.reset g with
+              | size when size >= majority t ->
+                  write_commit_block t ~recovering:false
+              | _ ->
+                  t.serving <- false
+              | exception Group.Types.Group_failure _ -> t.serving <- false))
+    end
+  done
+
+let nvram_flusher t nv () =
+  while true do
+    Sim.Proc.sleep (t.params.nvram_flush_idle_ms /. 2.0) ;
+    let idle = Sim.Proc.now () -. t.last_update > t.params.nvram_flush_idle_ms in
+    let full = Storage.Nvram.fill_ratio nv > t.params.nvram_flush_ratio in
+    if Storage.Nvram.length nv > 0 && (idle || full) then nvram_flush t nv
+  done
+
+let start ~params ?metrics ?nvram net ~server_id ~peers ~node ~device
+    ~bullet_port ~gname ~port () =
+  let nic = Simnet.Network.attach net node in
+  (* Server-to-server calls (Bullet commits, recovery fetches) must ride
+     out disk backlogs without spurious retries. *)
+  let rpc_config =
+    { Rpc.Transport.default_config with trans_timeout = 3_000.0 }
+  in
+  let transport = Rpc.Transport.create ~config:rpc_config net nic in
+  let table =
+    Storage.Object_table.attach device ~first_block:1 ~slots:params.Params.admin_slots
+  in
+  let t =
+    {
+      params;
+      metrics;
+      net;
+      node;
+      transport;
+      server_id;
+      peers;
+      device;
+      table;
+      bullet_port;
+      gname;
+      port;
+      cpu = Sim.Resource.create ~name:"dir-cpu" ~capacity:1 ();
+      nvram;
+      store = Directory.empty;
+      useq = 0;
+      file_caps = Directory.Store.empty;
+      group = None;
+      gprocessed = 0;
+      serving = false;
+      stayed_up = false;
+      applied = Sim.Condvar.create ();
+      results = Hashtbl.create 32;
+      next_uid = 0;
+      next_secret = 0;
+      last_update = 0.0;
+      op_log = [];
+      forced_recovery = false;
+    }
+  in
+  Rpc.Transport.serve transport ~port ~threads:params.Params.server_threads
+    (client_handler t);
+  Rpc.Transport.serve transport ~port:(admin_port (Sim.Node.id node)) ~threads:2
+    (admin_handler t);
+  Sim.Proc.boot (Simnet.Network.engine net) node ~name:"dirsvc.boot" (fun () ->
+      load_disk_state t;
+      (match t.nvram with
+      | Some nv -> Sim.Proc.spawn ~name:"dirsvc.nvflush" (nvram_flusher t nv)
+      | None -> ());
+      group_thread t ());
+  t
+
+let applied_log t = List.rev t.op_log
+
+let force_recover t = t.forced_recovery <- true

@@ -1,0 +1,95 @@
+(** The group directory server: the paper's core contribution (§3).
+
+    Triplicated (n is configurable), actively replicated via the totally
+    ordered group; accessible-copies consistency with a majority rule;
+    recovery via Skeen's last-to-fail algorithm over commit-block
+    configuration vectors, including the paper's §3.2 improvement.
+
+    Per Fig. 5:
+    {ul
+    {- {e server threads} (RPC workers) refuse every request without a
+       majority; serve reads locally after making sure all buffered
+       group messages have been applied (read-your-writes across
+       replicas); broadcast writes with [SendToGroup] (r = n-1) and wait
+       until the local group thread has executed them;}
+    {- the {e group thread} applies updates in total order: new directory
+       version into a Bullet file, then the object-table entry — commit —
+       and retires the old file off the critical path; directory
+       deletions advance the sequence number in the commit block;}
+    {- on a group failure it calls ResetGroup; with a majority it updates
+       the configuration vector and continues, otherwise it runs the
+       recovery protocol of Fig. 6.}}
+
+    With an NVRAM log attached, the commit path changes to one NVRAM
+    append; a background thread applies the log to disk when the server
+    is idle or the log fills, and a delete annihilates a still-logged
+    append without any disk I/O at all (§4.1). *)
+
+(** One logged-but-unflushed modification. *)
+type log_record = { useq : int; dir_id : int; op : Directory.op }
+
+val log_record_size : log_record -> int
+
+type nvram = log_record Storage.Nvram.t
+
+type t
+
+(** [start params net ~server_id ~peers ~node ~device ~bullet_port ~gname
+    ~port ()] boots a directory server (fresh or after a crash: all
+    persistent state is re-read from [device] — and [nvram] if given).
+    [peers] lists every configured directory server as
+    [(server_id, node_id)], including this one. The returned handle is
+    ready immediately; the server starts serving once recovery
+    establishes a safe majority. *)
+val start :
+  params:Params.t ->
+  ?metrics:Sim.Metrics.t ->
+  ?nvram:nvram ->
+  Simnet.Network.t ->
+  server_id:int ->
+  peers:(int * int) list ->
+  node:Sim.Node.t ->
+  device:Storage.Block_device.t ->
+  bullet_port:string ->
+  gname:string ->
+  port:string ->
+  unit ->
+  t
+
+val server_id : t -> int
+
+val serving : t -> bool
+
+(** Highest update sequence number applied. *)
+val useq : t -> int
+
+(** Snapshot of the in-core store (tests and the consistency checker). *)
+val store_snapshot : t -> Directory.store
+
+(** Current group view as seen by this server (empty while recovering). *)
+val view : t -> int list
+
+(** Admin RPC port of the server on node [node_id] (recovery traffic). *)
+val admin_port : int -> string
+
+(** One successfully applied update, attributed to the initiating
+    server and its request uid — the unit of the exactly-once check. *)
+type applied = {
+  a_useq : int;
+  a_origin : int;  (** initiating server's node id *)
+  a_uid : int;
+  a_op : Directory.op;
+}
+
+(** Updates this server applied itself, oldest first — empty again after
+    a state-transfer recovery (the fetched prefix was applied
+    elsewhere). The consistency checker replays it through the pure
+    semantics and asserts each (origin, uid) appears at most once. *)
+val applied_log : t -> applied list
+
+(** Administrator's escape hatch (paper §3.1: "there is an escape for
+    system administrators in case two servers lose their data forever").
+    Forces this server's next recovery round to skip the last-to-fail
+    containment check and recover from the best data currently
+    reachable — data loss is then possible and the operator owns it. *)
+val force_recover : t -> unit

@@ -1,0 +1,52 @@
+type t = {
+  net_latency : Simnet.Network.latency;
+  disk_write_ms : float;
+  disk_read_ms : float;
+  intentions_write_ms : float;
+  nvram_write_ms : float;
+  nvram_capacity : int;
+  nvram_flush_idle_ms : float;
+  nvram_flush_ratio : float;
+  cpu_read_ms : float;
+  cpu_write_ms : float;
+  bullet_cpu_ms : float;
+  nfs_cpu_read_ms : float;
+  nfs_cpu_write_ms : float;
+  server_threads : int;
+  resilience_override : int option;
+  dissemination : Group.Types.dissemination;
+  disk_blocks : int;
+  disk_block_size : int;
+  admin_slots : int;
+}
+
+let default =
+  {
+    net_latency = { Simnet.Network.base = 0.7; jitter = 0.2; local = 0.05 };
+    disk_write_ms = 40.0;
+    disk_read_ms = 15.0;
+    intentions_write_ms = 15.0;
+    nvram_write_ms = 9.0;
+    nvram_capacity = 24 * 1024;
+    nvram_flush_idle_ms = 250.0;
+    nvram_flush_ratio = 0.75;
+    cpu_read_ms = 3.0;
+    cpu_write_ms = 2.0;
+    bullet_cpu_ms = 0.4;
+    nfs_cpu_read_ms = 4.0;
+    nfs_cpu_write_ms = 2.0;
+    server_threads = 5;
+    resilience_override = None;
+    dissemination = Group.Types.Pb;
+    disk_blocks = 4096;
+    disk_block_size = 1024;
+    admin_slots = 256;
+  }
+
+let with_disk_scale t factor =
+  {
+    t with
+    disk_write_ms = t.disk_write_ms *. factor;
+    disk_read_ms = t.disk_read_ms *. factor;
+    intentions_write_ms = t.intentions_write_ms *. factor;
+  }

@@ -1,0 +1,46 @@
+(** The calibrated cost model.
+
+    All latency constants live here so every experiment states its
+    assumptions in one place. Values are chosen to match the paper's
+    hardware: Sun3/60-class machines on 10 Mbit/s Ethernet with Wren IV
+    SCSI disks and a 24 KB NVRAM board. EXPERIMENTS.md records how the
+    calibrated model reproduces each figure. *)
+
+type t = {
+  net_latency : Simnet.Network.latency;
+      (** ~0.7 ms per packet + jitter; loopback 0.05 ms *)
+  disk_write_ms : float;  (** random small write incl. seek (Wren IV) *)
+  disk_read_ms : float;
+  intentions_write_ms : float;
+      (** the RPC service's intentions-log append: sequential, cheaper
+          than a random write *)
+  nvram_write_ms : float;
+      (** logging one modification record to the VME NVRAM board *)
+  nvram_capacity : int;  (** bytes; the paper's board held 24 KB *)
+  nvram_flush_idle_ms : float;
+      (** flush the NVRAM log after this much idle time *)
+  nvram_flush_ratio : float;  (** ...or when fuller than this fraction *)
+  cpu_read_ms : float;
+      (** directory server processing per read request (the paper's
+          ≈3 ms, which bounds a server at ≈333 lookups/s) *)
+  cpu_write_ms : float;  (** directory server processing per update *)
+  bullet_cpu_ms : float;  (** Bullet server processing per request *)
+  nfs_cpu_read_ms : float;  (** SunOS/NFS lookup processing (≈6 ms total) *)
+  nfs_cpu_write_ms : float;
+  server_threads : int;  (** RPC worker threads per directory server *)
+  resilience_override : int option;
+      (** force the group resilience degree r instead of the default
+          n-1 (the r-vs-performance ablation; the paper's §1 trade-off) *)
+  dissemination : Group.Types.dissemination;
+      (** group dissemination method (PB forwards bodies through the
+          sequencer; BB broadcasts them from the sender) *)
+  disk_blocks : int;  (** geometry of each server machine's disk *)
+  disk_block_size : int;
+  admin_slots : int;  (** object-table slots (max directories) *)
+}
+
+val default : t
+
+(** [default] with every disk operation scaled by a factor — the
+    disk-bottleneck ablation. *)
+val with_disk_scale : t -> float -> t

@@ -1,0 +1,331 @@
+type t = {
+  params : Params.t;
+  net : Simnet.Network.t;
+  node : Sim.Node.t;
+  transport : Rpc.Transport.t;
+  server_id : int; (* 1 or 2 *)
+  peer_node : int;
+  device : Storage.Block_device.t;
+  intent_device : Storage.Block_device.t;
+  table : Storage.Object_table.t;
+  bullet_port : string;
+  port : string;
+  cpu : Sim.Resource.t;
+  mutable store : Directory.store;
+  mutable useq : int;
+  mutable file_caps : Capability.t Directory.Store.t;
+  locked : (int, unit) Hashtbl.t; (* dir ids with an operation in flight *)
+  unlocked : Sim.Condvar.t;
+  mutable next_intent_block : int;
+  mutable lazy_queue : int list; (* dirty dir ids awaiting the disk copy *)
+  lazy_kick : Sim.Condvar.t;
+  mutable next_dir_id : int; (* parity-partitioned allocation *)
+  mutable next_secret : int;
+}
+
+let server_id t = t.server_id
+
+let store_snapshot t = t.store
+
+let useq t = t.useq
+
+let lazy_backlog t = List.length t.lazy_queue
+
+let fresh_secret t =
+  t.next_secret <- t.next_secret + 1;
+  Capability.mint_secret
+    (Int64.of_int ((Sim.Node.id t.node * 999_983) + t.next_secret))
+
+(* Odd/even id partitioning: server 1 allocates 1,3,5…; server 2
+   allocates 2,4,6… — concurrent creates can never collide. *)
+let fresh_dir_id t =
+  let rec next candidate =
+    if Directory.Store.mem candidate t.store then next (candidate + 2)
+    else candidate
+  in
+  let id = next t.next_dir_id in
+  t.next_dir_id <- id + 2;
+  id
+
+let lock t dir_id =
+  while Hashtbl.mem t.locked dir_id do
+    Sim.Condvar.wait t.unlocked
+  done;
+  Hashtbl.replace t.locked dir_id ()
+
+let try_lock t dir_id =
+  if Hashtbl.mem t.locked dir_id then false
+  else begin
+    Hashtbl.replace t.locked dir_id ();
+    true
+  end
+
+let unlock t dir_id =
+  Hashtbl.remove t.locked dir_id;
+  Sim.Condvar.broadcast t.unlocked
+
+(* The per-directory sequence number: both replicas compute the same
+   stamp because operations on one directory are serialised by the
+   locks. *)
+let next_seqno t op =
+  match Directory.dir_id_of_op t.store op with
+  | Some dir_id -> (
+      match Directory.Store.find_opt dir_id t.store with
+      | Some dir -> dir.Directory.seqno + 1
+      | None -> 1)
+  | None -> 1
+
+let rec bullet_create_with_retry t data tries =
+  match Storage.Bullet.create t.transport ~port:t.bullet_port data with
+  | cap -> cap
+  | exception Rpc.Transport.Rpc_failure _ when tries > 0 ->
+      Sim.Proc.sleep 25.0;
+      bullet_create_with_retry t data (tries - 1)
+
+let persist_dir_to_disk t dir_id =
+  match Directory.Store.find_opt dir_id t.store with
+  | Some dir ->
+      let data = Directory.encode_dir dir in
+      let cap = bullet_create_with_retry t data 8 in
+      Storage.Object_table.write_entry t.table ~dir_id
+        { Storage.Object_table.file_cap = cap; seqno = dir.Directory.seqno };
+      (match Directory.Store.find_opt dir_id t.file_caps with
+      | Some old_cap ->
+          Sim.Proc.spawn ~name:"retire-file" (fun () ->
+              try Storage.Bullet.delete t.transport ~port:t.bullet_port old_cap
+              with Storage.Bullet.Error _ | Rpc.Transport.Rpc_failure _ -> ())
+      | None -> ());
+      t.file_caps <- Directory.Store.add dir_id cap t.file_caps
+  | None ->
+      Storage.Object_table.clear_entry t.table ~dir_id;
+      (match Directory.Store.find_opt dir_id t.file_caps with
+      | Some old_cap ->
+          t.file_caps <- Directory.Store.remove dir_id t.file_caps;
+          Sim.Proc.spawn ~name:"retire-file" (fun () ->
+              try Storage.Bullet.delete t.transport ~port:t.bullet_port old_cap
+              with Storage.Bullet.Error _ | Rpc.Transport.Rpc_failure _ -> ())
+      | None -> ())
+
+let apply_in_core t op =
+  let seqno = next_seqno t op in
+  match Directory.apply t.store ~seqno op with
+  | Ok (store', result) ->
+      t.store <- store';
+      t.useq <- t.useq + 1;
+      Ok result
+  | Error e -> Error e
+
+(* ---- Peer side: intentions + lazy replication --------------------- *)
+
+(* One intentions-log append: a small sequential write to the dedicated
+   region — cheaper than a random data write (paper §3.1: the RPC
+   implementation pays "an additional disk operation to store an
+   intentions list"). *)
+let write_intention t op =
+  let w = Storage.Codec.Writer.create () in
+  Storage.Codec.Writer.u32 w (Wire.op_size op);
+  let block = t.next_intent_block in
+  t.next_intent_block <-
+    (if block + 1 >= Storage.Block_device.blocks t.intent_device then 0
+     else block + 1);
+  Storage.Block_device.write t.intent_device block
+    (Storage.Codec.Writer.contents w)
+
+let handle_intend t op =
+  match Directory.dir_id_of_op t.store op with
+  | None -> Wire.Intend_busy
+  | Some dir_id ->
+      if not (try_lock t dir_id) then Wire.Intend_busy
+      else begin
+        write_intention t op;
+        (* Apply in core right away: reads at this replica stay
+           consistent. The disk copy is made lazily below. *)
+        ignore (apply_in_core t op);
+        unlock t dir_id;
+        t.lazy_queue <- t.lazy_queue @ [ dir_id ];
+        Sim.Condvar.broadcast t.lazy_kick;
+        Wire.Intend_ok
+      end
+
+let lazy_replicator t () =
+  while true do
+    Sim.Condvar.await t.lazy_kick (fun () -> t.lazy_queue <> []);
+    match t.lazy_queue with
+    | [] -> ()
+    | dir_id :: rest ->
+        t.lazy_queue <- rest;
+        lock t dir_id;
+        persist_dir_to_disk t dir_id;
+        unlock t dir_id
+  done
+
+(* ---- Initiator side ------------------------------------------------ *)
+
+let intend_at_peer t op =
+  match
+    Rpc.Transport.trans t.transport
+      ~port:(Printf.sprintf "dirx@%d" t.peer_node)
+      ~timeout:120.0 (Wire.Intend_req { op })
+  with
+  | Wire.Intend_ok -> `Ok
+  | Wire.Intend_busy -> `Busy
+  | _ -> `Down
+  | exception Rpc.Transport.Rpc_failure _ ->
+      (* Peer unreachable: the RPC service assumes crash, proceeds alone
+         — this is precisely why it cannot tolerate partitions. *)
+      `Down
+
+let handle_write t op =
+  Sim.Resource.use t.cpu t.params.Params.cpu_write_ms;
+  let op =
+    match op with
+    | Directory.Create_dir { columns; _ } ->
+        Directory.Create_dir
+          { columns; secret = fresh_secret t; hint = Some (fresh_dir_id t) }
+    | other -> other
+  in
+  match Directory.dir_id_of_op t.store op with
+  | None -> Wire.Err_rep (Wire.Op_error (Directory.Bad_request "bad op"))
+  | Some dir_id ->
+      let rec attempt tries =
+        if tries > 12 then Wire.Err_rep (Wire.Unavailable "peer busy")
+        else begin
+          lock t dir_id;
+          match intend_at_peer t op with
+          | `Busy ->
+              (* Conflicting operation at the peer: release and retry.
+                 The backoff is deliberately asymmetric between the two
+                 servers, or simultaneous initiators would collide again
+                 on every round. *)
+              unlock t dir_id;
+              Sim.Proc.sleep
+                (2.0
+                +. (float_of_int t.server_id *. 3.7)
+                +. (float_of_int tries *. 2.3));
+              attempt (tries + 1)
+          | `Ok | `Down -> (
+              let outcome = apply_in_core t op in
+              match outcome with
+              | Ok result ->
+                  persist_dir_to_disk t dir_id;
+                  unlock t dir_id;
+                  (match result with
+                  | Directory.Created id ->
+                      let secret =
+                        match op with
+                        | Directory.Create_dir { secret; _ } -> secret
+                        | _ -> assert false
+                      in
+                      Wire.Cap_rep (Capability.owner ~port:t.port ~obj:id secret)
+                  | Directory.Updated -> Wire.Ok_rep)
+              | Error e ->
+                  unlock t dir_id;
+                  Wire.Err_rep (Wire.Op_error e))
+        end
+      in
+      attempt 0
+
+let handle_read t serve =
+  Sim.Resource.use t.cpu t.params.Params.cpu_read_ms;
+  serve t.store
+
+let client_handler t ~client:_ body =
+  match body with
+  | Wire.Dir_request (Wire.Write_op op) -> Wire.Dir_reply (handle_write t op)
+  | Wire.Dir_request (Wire.List_req { cap; column }) ->
+      Wire.Dir_reply
+        (handle_read t (fun store ->
+             match Directory.list_dir store ~cap ~column with
+             | Ok listing -> Wire.Listing_rep listing
+             | Error e -> Wire.Err_rep (Wire.Op_error e)))
+  | Wire.Dir_request (Wire.Lookup_req { items; column }) ->
+      Wire.Dir_reply
+        (handle_read t (fun store ->
+             let resolve (cap, name) =
+               match Directory.lookup store ~cap ~name ~column with
+               | Ok (cap, mask) -> Some (cap, mask)
+               | Error _ -> None
+             in
+             Wire.Lookup_rep (List.map resolve items)))
+  | _ -> Wire.Dir_reply (Wire.Err_rep (Wire.Unavailable "bad request"))
+
+let admin_handler t ~client:_ body =
+  match body with
+  | Wire.Intend_req { op } -> handle_intend t op
+  | Wire.Pull_state_req -> Wire.Pull_state_rep { state = Wire.encode_store t.store }
+  | _ -> Wire.Dir_reply (Wire.Err_rep (Wire.Unavailable "bad request"))
+
+let load_disk_state t =
+  let entries = Storage.Object_table.scan t.table in
+  List.iter
+    (fun (dir_id, { Storage.Object_table.file_cap; _ }) ->
+      match Storage.Bullet.read t.transport ~port:t.bullet_port file_cap with
+      | data ->
+          t.store <- Directory.Store.add dir_id (Directory.decode_dir data) t.store;
+          t.file_caps <- Directory.Store.add dir_id file_cap t.file_caps
+      | exception (Storage.Bullet.Error _ | Rpc.Transport.Rpc_failure _) -> ())
+    entries;
+  (* Catch up from the peer when it is reachable (restart path). *)
+  match
+    Rpc.Transport.trans t.transport
+      ~port:(Printf.sprintf "dirx@%d" t.peer_node)
+      ~timeout:100.0 Wire.Pull_state_req
+  with
+  | Wire.Pull_state_rep { state } ->
+      t.store <- Wire.decode_store state;
+      Directory.Store.iter
+        (fun dir_id _ -> t.lazy_queue <- t.lazy_queue @ [ dir_id ])
+        t.store;
+      Sim.Condvar.broadcast t.lazy_kick
+  | _ | (exception Rpc.Transport.Rpc_failure _) -> ()
+
+let start ~params ?metrics net ~server_id ~peer_node ~node ~device
+    ~intent_device ~bullet_port ~port () =
+  ignore metrics;
+  let nic = Simnet.Network.attach net node in
+  (* Server-to-server calls (Bullet commits, recovery fetches) must ride
+     out disk backlogs without spurious retries. *)
+  let rpc_config =
+    { Rpc.Transport.default_config with trans_timeout = 3_000.0 }
+  in
+  let transport = Rpc.Transport.create ~config:rpc_config net nic in
+  let table =
+    Storage.Object_table.attach device ~first_block:1
+      ~slots:params.Params.admin_slots
+  in
+  let t =
+    {
+      params;
+      net;
+      node;
+      transport;
+      server_id;
+      peer_node;
+      device;
+      intent_device;
+      table;
+      bullet_port;
+      port;
+      cpu = Sim.Resource.create ~name:"dir-cpu" ~capacity:1 ();
+      store = Directory.empty;
+      useq = 0;
+      file_caps = Directory.Store.empty;
+      locked = Hashtbl.create 8;
+      unlocked = Sim.Condvar.create ();
+      next_intent_block = 0;
+      lazy_queue = [];
+      lazy_kick = Sim.Condvar.create ();
+      next_dir_id = server_id; (* 1 -> odd ids, 2 -> even ids *)
+      next_secret = 0;
+    }
+  in
+  Rpc.Transport.serve transport ~port ~threads:params.Params.server_threads
+    (client_handler t);
+  Rpc.Transport.serve transport
+    ~port:(Printf.sprintf "dirx@%d" (Sim.Node.id node))
+    ~threads:2 (admin_handler t);
+  Sim.Proc.boot (Simnet.Network.engine net) node ~name:"dirsvc-rpc.boot"
+    (fun () ->
+      load_disk_state t;
+      Sim.Proc.spawn ~name:"dirsvc-rpc.lazy" (lazy_replicator t));
+  t

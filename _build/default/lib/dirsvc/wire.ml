@@ -1,0 +1,112 @@
+type service_error =
+  | Op_error of Directory.error
+  | No_majority
+  | Unavailable of string
+
+let service_error_to_string = function
+  | Op_error e -> Directory.error_to_string e
+  | No_majority -> "no majority of directory servers"
+  | Unavailable reason -> "temporarily unavailable: " ^ reason
+
+exception Dir_error of service_error
+
+type request =
+  | Write_op of Directory.op
+  | List_req of { cap : Capability.t; column : int }
+  | Lookup_req of { items : (Capability.t * string) list; column : int }
+
+type reply =
+  | Cap_rep of Capability.t
+  | Ok_rep
+  | Listing_rep of Directory.listing
+  | Lookup_rep of (Capability.t * int) option list
+  | Err_rep of service_error
+
+type Simnet.Payload.t +=
+  | Dir_request of request
+  | Dir_reply of reply
+  | Dir_op_msg of { origin : int; uid : int; op : Directory.op }
+  | Exchange_req of { server : int }
+  | Exchange_rep of {
+      server : int;
+      mourned : int list;
+      useq : int;
+      stayed_up : bool;
+      serving : bool;
+    }
+  | Fetch_state_req of {
+      required : int;
+      have : (int * int * int64) list;
+          (** requester's (dir id, seqno, content digest) inventory *)
+    }
+  | Fetch_state_rep of {
+      changed : string;  (** encoded store of dirs to install/overwrite *)
+      deleted : int list;  (** requester's dirs that no longer exist *)
+      useq : int;
+      watermark : int;
+    }
+  | Intend_req of { op : Directory.op }
+  | Intend_ok
+  | Intend_busy
+  | Pull_state_req
+  | Pull_state_rep of { state : string }
+
+let encode_store store =
+  let w = Storage.Codec.Writer.create () in
+  let entries = Directory.Store.bindings store in
+  Storage.Codec.Writer.list w
+    (fun w (dir_id, dir) ->
+      Storage.Codec.Writer.u32 w dir_id;
+      Storage.Codec.Writer.string w (Directory.encode_dir dir))
+    entries;
+  Bytes.to_string (Storage.Codec.Writer.contents w)
+
+let decode_store data =
+  let r = Storage.Codec.Reader.of_bytes (Bytes.of_string data) in
+  let entries =
+    Storage.Codec.Reader.list r (fun r ->
+        let dir_id = Storage.Codec.Reader.u32 r in
+        let dir = Directory.decode_dir (Storage.Codec.Reader.string r) in
+        (dir_id, dir))
+  in
+  List.fold_left
+    (fun store (dir_id, dir) -> Directory.Store.add dir_id dir store)
+    Directory.empty entries
+
+let op_size (op : Directory.op) =
+  let cap_size = 32 in
+  match op with
+  | Directory.Create_dir { columns; _ } ->
+      16 + List.fold_left (fun a c -> a + String.length c) 0 columns
+  | Directory.Delete_dir _ -> 8 + cap_size
+  | Directory.Append_row { name; caps; _ } ->
+      8 + cap_size + String.length name + (List.length caps * (cap_size + 4))
+  | Directory.Chmod_row { name; masks; _ } ->
+      8 + cap_size + String.length name + (List.length masks * 4)
+  | Directory.Delete_row { name; _ } -> 8 + cap_size + String.length name
+  | Directory.Replace_set { rows; _ } ->
+      8 + cap_size
+      + List.fold_left
+          (fun a (name, caps) ->
+            a + String.length name + (List.length caps * cap_size))
+          0 rows
+
+let () =
+  Simnet.Payload.register_printer (function
+    | Dir_request (Write_op _) -> Some "dir.write"
+    | Dir_request (List_req _) -> Some "dir.list"
+    | Dir_request (Lookup_req _) -> Some "dir.lookup"
+    | Dir_reply _ -> Some "dir.reply"
+    | Dir_op_msg { origin; uid; _ } -> Some (Printf.sprintf "dir.op %d.%d" origin uid)
+    | Exchange_req { server } -> Some (Printf.sprintf "dir.exchange? s%d" server)
+    | Exchange_rep { server; useq; _ } ->
+        Some (Printf.sprintf "dir.exchange s%d useq=%d" server useq)
+    | Fetch_state_req { required; have } ->
+        Some (Printf.sprintf "dir.fetch? >=%d (have %d)" required (List.length have))
+    | Fetch_state_rep { useq; _ } -> Some (Printf.sprintf "dir.fetch useq=%d" useq)
+    | Intend_req _ -> Some "dir.intend"
+    | Intend_ok -> Some "dir.intend-ok"
+    | Intend_busy -> Some "dir.intend-busy"
+    | Pull_state_req -> Some "dir.pull?"
+    | Pull_state_rep _ -> Some "dir.pull"
+    | _ -> None)

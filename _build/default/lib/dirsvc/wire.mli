@@ -1,0 +1,76 @@
+(** Wire messages of the directory service: the client-facing request /
+    reply surface (shared by all four implementations), the group
+    message that carries an update through the total order, the
+    recovery-time server-to-server exchange, and the RPC baseline's
+    intentions protocol. *)
+
+(** Client-visible failures beyond the data-model errors. *)
+type service_error =
+  | Op_error of Directory.error
+  | No_majority
+      (** fewer than a majority of directory servers are up — reads and
+          writes are both refused (paper §3.1's partition argument) *)
+  | Unavailable of string  (** transient: recovery or view change *)
+
+val service_error_to_string : service_error -> string
+
+exception Dir_error of service_error
+
+type request =
+  | Write_op of Directory.op
+  | List_req of { cap : Capability.t; column : int }
+  | Lookup_req of { items : (Capability.t * string) list; column : int }
+
+type reply =
+  | Cap_rep of Capability.t  (** Create_dir: the new owner capability *)
+  | Ok_rep
+  | Listing_rep of Directory.listing
+  | Lookup_rep of (Capability.t * int) option list
+  | Err_rep of service_error
+
+type Simnet.Payload.t +=
+  | Dir_request of request
+  | Dir_reply of reply
+  | Dir_op_msg of { origin : int; uid : int; op : Directory.op }
+      (** an update travelling through SendToGroup *)
+  | Exchange_req of { server : int }
+  | Exchange_rep of {
+      server : int;
+      mourned : int list;
+      useq : int;
+      stayed_up : bool;
+      serving : bool;
+    }
+      (** recovery: mourned set + update sequence number (Fig. 6) *)
+  | Fetch_state_req of {
+      required : int;
+      have : (int * int * int64) list;
+          (** requester's (dir id, seqno, content digest) inventory *)
+    }
+      (** recovery: send me what differs from my inventory once you have
+          processed group position [required]. The donor is
+          authoritative: any directory whose seqno {e differs} (not just
+          trails) is resent, and directories absent at the donor are
+          reported deleted — a rebooted requester may hold uncommitted
+          versions that must be discarded. *)
+  | Fetch_state_rep of {
+      changed : string;  (** encoded store of dirs to install/overwrite *)
+      deleted : int list;  (** requester's dirs that no longer exist *)
+      useq : int;
+      watermark : int;
+    }
+  | Intend_req of { op : Directory.op }
+      (** RPC service: store my intention before I commit (paper §1) *)
+  | Intend_ok
+  | Intend_busy  (** conflicting operation in progress; back off *)
+  | Pull_state_req
+  | Pull_state_rep of { state : string }
+
+(** Codec for whole stores (recovery state transfer). *)
+
+val encode_store : Directory.store -> string
+
+val decode_store : string -> Directory.store
+
+(** Rough wire/NVRAM footprint of an operation in bytes. *)
+val op_size : Directory.op -> int

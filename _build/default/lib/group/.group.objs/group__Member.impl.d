@@ -1,0 +1,1 @@
+lib/group/member.ml: Hashtbl List Printf Sim Simnet String Types Wire

@@ -1,0 +1,1 @@
+lib/group/member.mli: Sim Simnet Types

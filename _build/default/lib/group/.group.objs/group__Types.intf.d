@@ -1,0 +1,1 @@
+lib/group/types.mli: Format Simnet

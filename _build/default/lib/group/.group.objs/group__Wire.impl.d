@@ -1,0 +1,1 @@
+lib/group/wire.ml: List Printf Simnet String Types

@@ -1,0 +1,1 @@
+lib/group/wire.mli: Simnet Types

@@ -1,0 +1,851 @@
+open Types
+
+type item = Delivery of Types.delivery | Failed of string
+
+type t = {
+  net : Simnet.Network.t;
+  nic : Simnet.Network.nic;
+  node : Sim.Node.t;
+  engine : Sim.Engine.t;
+  gname : string;
+  proto : string;
+  config : Types.config;
+  metrics : Sim.Metrics.t option;
+  me : int;
+  mutable status : Types.status;
+  mutable epoch : Types.epoch;
+  mutable members : int list; (* sorted *)
+  mutable sequencer : int;
+  (* Totally-ordered log. [store] holds every entry we know; [contig] is
+     the highest seqno up to which we hold *everything* (the paper's
+     "buffered" high-water mark is [highest_seen]). *)
+  store : (int, Wire.entry) Hashtbl.t;
+  mutable contig : int;
+  mutable highest_seen : int;
+  deliver_q : item Sim.Mailbox.t;
+  changed : Sim.Condvar.t; (* broadcast on advance / status change *)
+  (* Sender state. *)
+  mutable next_uid : int;
+  pending_sends : (int, unit Sim.Ivar.t) Hashtbl.t; (* uid -> done *)
+  (* Sequencer state (only meaningful while me = sequencer). *)
+  mutable seq_next : int;
+  acked : (int, int) Hashtbl.t; (* member -> cumulative have_upto *)
+  last_heard : (int, float) Hashtbl.t; (* member -> last ack/hb time *)
+  pending_done : (int, int * int) Hashtbl.t; (* seqno -> origin, uid *)
+  assigned_uids : (int * int, int) Hashtbl.t; (* (origin, uid) -> seqno *)
+  join_assigned : (int * int, int) Hashtbl.t; (* (joiner, uid) -> seqno *)
+  mutable last_data_sent : float;
+  (* Member-side failure detection. *)
+  mutable last_from_seq : float;
+  mutable last_retrans_req : float;
+  (* Join state. *)
+  mutable join_collect : (int * int list * int * Types.epoch * int) list option;
+      (* (sequencer, members, base, epoch, uid) grants, while joining *)
+  mutable join_stash : (Types.epoch * int * Wire.entry) list;
+      (* data overheard while still joining; replayed after adoption *)
+  bb_bodies : (int * int, Simnet.Payload.t) Hashtbl.t;
+      (* BB method: bodies received by broadcast, keyed (origin, uid),
+         awaiting the sequencer's Accept *)
+  (* Reset state. [reset_seen] is the highest (view, coord) invite we
+     responded to in the current instance. *)
+  mutable reset_seen : int * int;
+  mutable reset_states : (int * int) list; (* member, have_upto; as coord *)
+  mutable reset_collect_view : int option;
+}
+
+let instance_counter = ref 0
+
+let fresh_instance me =
+  incr instance_counter;
+  (me * 10_000) + !instance_counter
+
+(* Uids must be unique across member incarnations on the same node: the
+   sequencer deduplicates (origin, uid), so a restarted member reusing an
+   old uid would be handed the original answer — e.g. a join grant with a
+   long-gone base, making it re-execute history. *)
+let uid_counter = ref 0
+
+let count t key =
+  match t.metrics with None -> () | Some m -> Sim.Metrics.incr m key
+
+let now t = Sim.Engine.now t.engine
+
+let tracef t fmt = Sim.Engine.tracef t.engine fmt
+
+let gname t = t.gname
+
+let me t = t.me
+
+let members t = t.members
+
+let info t =
+  {
+    members = t.members;
+    sequencer = t.sequencer;
+    me = t.me;
+    status = t.status;
+    epoch = t.epoch;
+    next_deliver = t.contig + 1;
+    highest_seen = t.highest_seen;
+  }
+
+let is_sequencer t = t.status = Normal && t.sequencer = t.me
+
+let unicast t ~dst key payload =
+  count t key;
+  Simnet.Network.send t.net t.nic ~dst ~proto:t.proto payload
+
+let multicast t key payload =
+  count t key;
+  Simnet.Network.multicast t.net t.nic ~proto:t.proto payload
+
+let epoch_matches t epoch = Types.epoch_compare epoch t.epoch = 0
+
+(* ---- Failure declaration ---------------------------------------- *)
+
+let fail_pending_sends t reason =
+  let pending = Hashtbl.fold (fun uid ivar acc -> (uid, ivar) :: acc) t.pending_sends [] in
+  Hashtbl.reset t.pending_sends;
+  List.iter
+    (fun (_, ivar) -> Sim.Ivar.fill_exn ivar (Group_failure reason))
+    pending
+
+let declare_broken t ~notify_peers reason =
+  if t.status = Normal then begin
+    tracef t "grp %s@%d: broken (%s)" t.gname t.me reason;
+    t.status <- Broken;
+    fail_pending_sends t reason;
+    Sim.Mailbox.send t.deliver_q (Failed reason);
+    Sim.Condvar.broadcast t.changed;
+    if notify_peers then
+      multicast t "grp.fail" (Wire.Fail { gname = t.gname; epoch = t.epoch; reason })
+  end
+
+(* ---- Sequencer: resilience bookkeeping --------------------------- *)
+
+let needed_holders t = min (t.config.resilience + 1) (List.length t.members)
+
+let send_done t ~origin ~uid =
+  if origin = t.me then begin
+    match Hashtbl.find_opt t.pending_sends uid with
+    | Some ivar ->
+        Hashtbl.remove t.pending_sends uid;
+        Sim.Ivar.fill ivar ()
+    | None -> ()
+  end
+  else unicast t ~dst:origin "grp.done" (Wire.Done { gname = t.gname; epoch = t.epoch; uid })
+
+let holders t seqno =
+  List.length
+    (List.filter
+       (fun m ->
+         match Hashtbl.find_opt t.acked m with
+         | Some upto -> upto >= seqno
+         | None -> false)
+       t.members)
+
+let check_pending_done t =
+  let needed = needed_holders t in
+  let ready =
+    Hashtbl.fold
+      (fun seqno (origin, uid) acc ->
+        if holders t seqno >= needed then (seqno, origin, uid) :: acc else acc)
+      t.pending_done []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (seqno, origin, uid) ->
+      Hashtbl.remove t.pending_done seqno;
+      send_done t ~origin ~uid)
+    ready
+
+let record_ack t ~member ~have_upto =
+  let previous =
+    match Hashtbl.find_opt t.acked member with Some v -> v | None -> -1
+  in
+  if have_upto > previous then Hashtbl.replace t.acked member have_upto;
+  Hashtbl.replace t.last_heard member (now t);
+  check_pending_done t
+
+(* ---- Delivery --------------------------------------------------- *)
+
+let deliver_entry t seqno (entry : Wire.entry) =
+  match entry with
+  | Wire.App { origin; payload; _ } ->
+      Sim.Mailbox.send t.deliver_q (Delivery (Msg { seqno; origin; payload }))
+  | Wire.Join_member m ->
+      if not (List.mem m t.members) then
+        t.members <- List.sort compare (m :: t.members);
+      Sim.Mailbox.send t.deliver_q (Delivery (Joined { seqno; member = m }));
+      if is_sequencer t then begin
+        (* Admit the joiner: it starts with a clean slate at [seqno]. *)
+        Hashtbl.replace t.acked m seqno;
+        Hashtbl.replace t.last_heard m (now t)
+      end
+  | Wire.Leave_member m ->
+      t.members <- List.filter (fun x -> x <> m) t.members;
+      Sim.Mailbox.send t.deliver_q (Delivery (Departed { seqno; member = m }));
+      if m = t.me then begin
+        t.status <- Left;
+        fail_pending_sends t "left group";
+        Sim.Condvar.broadcast t.changed
+      end
+      else if m = t.sequencer then begin
+        (* Deterministic handover: lowest surviving id becomes sequencer;
+           everyone computes the same answer from the same total order. *)
+        (match t.members with
+        | [] -> ()
+        | first :: _ ->
+            t.sequencer <- first;
+            if first = t.me then begin
+              t.seq_next <- seqno + 1;
+              Hashtbl.reset t.pending_done;
+              List.iter
+                (fun m' -> Hashtbl.replace t.last_heard m' (now t))
+                t.members
+            end);
+        t.last_from_seq <- now t
+      end
+
+let send_cumulative_ack t =
+  if t.status = Normal then
+    if t.sequencer = t.me then record_ack t ~member:t.me ~have_upto:t.contig
+    else
+      unicast t ~dst:t.sequencer "grp.ack"
+        (Wire.Ack
+           { gname = t.gname; epoch = t.epoch; member = t.me; have_upto = t.contig })
+
+(* Deliver every stored entry that has become contiguous. *)
+let advance t =
+  let advanced = ref false in
+  let continue = ref true in
+  while !continue do
+    match Hashtbl.find_opt t.store (t.contig + 1) with
+    | Some entry ->
+        t.contig <- t.contig + 1;
+        advanced := true;
+        deliver_entry t t.contig entry
+    | None -> continue := false
+  done;
+  if !advanced then begin
+    if t.contig > t.highest_seen then t.highest_seen <- t.contig;
+    send_cumulative_ack t;
+    Sim.Condvar.broadcast t.changed
+  end
+
+let request_retrans t =
+  if
+    t.status = Normal && t.sequencer <> t.me
+    && now t -. t.last_retrans_req > 4.0
+  then begin
+    t.last_retrans_req <- now t;
+    unicast t ~dst:t.sequencer "grp.retrans"
+      (Wire.Retrans
+         { gname = t.gname; epoch = t.epoch; member = t.me; from = t.contig + 1 })
+  end
+
+let store_data t ~seqno ~entry =
+  if seqno > t.highest_seen then t.highest_seen <- seqno;
+  if seqno > t.contig && not (Hashtbl.mem t.store seqno) then
+    Hashtbl.replace t.store seqno entry;
+  advance t;
+  if t.highest_seen > t.contig then request_retrans t
+
+(* ---- Sequencer duties ------------------------------------------- *)
+
+let assign_and_multicast t entry =
+  let seqno = t.seq_next in
+  t.seq_next <- seqno + 1;
+  t.last_data_sent <- now t;
+  (* The sequencer is the authoritative history: record the entry before
+     anything else so retransmission can always serve it, then deliver it
+     locally right away (the loopback copy becomes a harmless duplicate). *)
+  Hashtbl.replace t.store seqno entry;
+  if seqno > t.highest_seen then t.highest_seen <- seqno;
+  multicast t "grp.data"
+    (Wire.Data { gname = t.gname; epoch = t.epoch; seqno; entry });
+  advance t;
+  seqno
+
+let handle_bcast_req t ~origin ~uid ~payload =
+  match Hashtbl.find_opt t.assigned_uids (origin, uid) with
+  | Some seqno ->
+      (* Duplicate (origin retried): if already resilient, re-notify. *)
+      if not (Hashtbl.mem t.pending_done seqno) then send_done t ~origin ~uid
+  | None ->
+      let entry = Wire.App { origin; uid; payload } in
+      let seqno = assign_and_multicast t entry in
+      Hashtbl.replace t.assigned_uids (origin, uid) seqno;
+      Hashtbl.replace t.pending_done seqno (origin, uid);
+      (* With r = 0 the send completes as soon as it is ordered. *)
+      check_pending_done t
+
+(* BB method, sequencer side: the body arrived by the sender's own
+   broadcast; order it with a (tiny) Accept. *)
+let handle_bb_body_at_sequencer t ~origin ~uid ~payload =
+  match Hashtbl.find_opt t.assigned_uids (origin, uid) with
+  | Some seqno ->
+      if not (Hashtbl.mem t.pending_done seqno) then send_done t ~origin ~uid
+  | None ->
+      let seqno = t.seq_next in
+      t.seq_next <- seqno + 1;
+      t.last_data_sent <- now t;
+      let entry = Wire.App { origin; uid; payload } in
+      Hashtbl.replace t.store seqno entry;
+      if seqno > t.highest_seen then t.highest_seen <- seqno;
+      Hashtbl.replace t.assigned_uids (origin, uid) seqno;
+      Hashtbl.replace t.pending_done seqno (origin, uid);
+      multicast t "grp.accept"
+        (Wire.Bb_accept { gname = t.gname; epoch = t.epoch; seqno; origin; uid });
+      advance t;
+      check_pending_done t
+
+(* BB method, member side: pair an Accept with its broadcast body. A
+   missing body is recovered through the ordinary retransmission path
+   (the sequencer holds every ordered entry). *)
+let handle_bb_accept t ~seqno ~origin ~uid =
+  (match Hashtbl.find_opt t.bb_bodies (origin, uid) with
+  | Some payload ->
+      Hashtbl.remove t.bb_bodies (origin, uid);
+      store_data t ~seqno ~entry:(Wire.App { origin; uid; payload })
+  | None ->
+      if seqno > t.highest_seen then t.highest_seen <- seqno;
+      if t.highest_seen > t.contig then request_retrans t);
+  ()
+
+let handle_join_req t ~joiner ~uid =
+  match Hashtbl.find_opt t.join_assigned (joiner, uid) with
+  | Some seqno ->
+      unicast t ~dst:joiner "grp.grant"
+        (Wire.Join_grant
+           {
+             gname = t.gname;
+             epoch = t.epoch;
+             uid;
+             members = t.members;
+             sequencer = t.sequencer;
+             base = seqno;
+           })
+  | None ->
+      (* Ordering the Join also delivers it locally, so [t.members]
+         already includes the joiner when we build the grant. *)
+      let seqno = assign_and_multicast t (Wire.Join_member joiner) in
+      Hashtbl.replace t.join_assigned (joiner, uid) seqno;
+      unicast t ~dst:joiner "grp.grant"
+        (Wire.Join_grant
+           {
+             gname = t.gname;
+             epoch = t.epoch;
+             uid;
+             members = t.members;
+             sequencer = t.sequencer;
+             base = seqno;
+           })
+
+let handle_retrans t ~member ~from =
+  let upto = min (from + t.config.retrans_batch - 1) (t.seq_next - 1) in
+  for seqno = from to upto do
+    match Hashtbl.find_opt t.store seqno with
+    | Some entry ->
+        unicast t ~dst:member "grp.data"
+          (Wire.Data { gname = t.gname; epoch = t.epoch; seqno; entry })
+    | None -> ()
+  done
+
+(* ---- Reset (ResetGroup view change) ------------------------------ *)
+
+let reset_candidate_gt (va, ca) (vb, cb) = va > vb || (va = vb && ca > cb)
+
+let handle_reset_invite t ~instance ~view ~coord =
+  if
+    instance = t.epoch.instance
+    && (t.status = Normal || t.status = Broken || t.status = Resetting)
+    && view > t.epoch.view
+    && reset_candidate_gt (view, coord) t.reset_seen
+  then begin
+    t.reset_seen <- (view, coord);
+    if t.status = Normal then fail_pending_sends t "reset in progress";
+    t.status <- Resetting;
+    Sim.Condvar.broadcast t.changed;
+    if coord <> t.me then
+      unicast t ~dst:coord "grp.reset"
+        (Wire.Reset_state
+           { gname = t.gname; instance; view; member = t.me; have_upto = t.contig })
+  end
+
+let handle_reset_state t ~view ~member ~have_upto =
+  match t.reset_collect_view with
+  | Some v when v = view ->
+      if not (List.mem_assoc member t.reset_states) then
+        t.reset_states <- (member, have_upto) :: t.reset_states
+  | Some _ | None -> ()
+
+let handle_reset_fetch t ~requester ~from ~upto =
+  let entries = ref [] in
+  for seqno = upto downto from do
+    match Hashtbl.find_opt t.store seqno with
+    | Some entry -> entries := (seqno, entry) :: !entries
+    | None -> ()
+  done;
+  unicast t ~dst:requester "grp.reset"
+    (Wire.Reset_entries
+       { gname = t.gname; instance = t.epoch.instance; entries = !entries })
+
+let handle_reset_entries t entries =
+  List.iter
+    (fun (seqno, entry) ->
+      if seqno > t.contig && not (Hashtbl.mem t.store seqno) then
+        Hashtbl.replace t.store seqno entry)
+    entries;
+  advance t
+
+let purge_beyond t base =
+  let stale =
+    Hashtbl.fold (fun s _ acc -> if s > base then s :: acc else acc) t.store []
+  in
+  List.iter (Hashtbl.remove t.store) stale;
+  t.highest_seen <- base
+
+let apply_reset_commit t ~epoch ~members:new_members ~sequencer ~base ~patch =
+  if
+    epoch.instance = t.epoch.instance
+    && epoch.view > t.epoch.view
+    && (t.status = Resetting || t.status = Broken || t.status = Normal)
+  then begin
+    List.iter
+      (fun (seqno, entry) ->
+        if seqno > t.contig && not (Hashtbl.mem t.store seqno) then
+          Hashtbl.replace t.store seqno entry)
+      patch;
+    (* Entries beyond the agreed base belonged to the dead view: drop
+       them so the new sequencer can reuse those sequence numbers. *)
+    purge_beyond t base;
+    advance t;
+    assert (t.contig >= base);
+    t.epoch <- epoch;
+    t.members <- new_members;
+    t.sequencer <- sequencer;
+    t.status <- Normal;
+    t.last_from_seq <- now t;
+    t.reset_seen <- (epoch.view, sequencer);
+    Hashtbl.reset t.pending_done;
+    Hashtbl.reset t.assigned_uids;
+    Hashtbl.reset t.join_assigned;
+    Hashtbl.reset t.bb_bodies;
+    fail_pending_sends t "view changed";
+    if sequencer = t.me then begin
+      t.seq_next <- base + 1;
+      Hashtbl.reset t.acked;
+      List.iter
+        (fun m ->
+          Hashtbl.replace t.acked m base;
+          Hashtbl.replace t.last_heard m (now t))
+        new_members
+    end;
+    Sim.Condvar.broadcast t.changed;
+    tracef t "grp %s@%d: new view %a members=[%s]" t.gname t.me Types.pp_epoch
+      epoch
+      (String.concat "," (List.map string_of_int new_members))
+  end
+
+let reset t =
+  if t.status = Left || t.status = Idle then
+    raise (Group_failure "reset: not a member");
+  let max_attempts = 8 in
+  let rec attempt n =
+    if n > max_attempts then List.length t.members
+    else begin
+      let view = max t.epoch.view (fst t.reset_seen) + 1 in
+      t.reset_seen <- (view, t.me);
+      if t.status = Normal then fail_pending_sends t "reset in progress";
+      t.status <- Resetting;
+      t.reset_states <- [ (t.me, t.contig) ];
+      t.reset_collect_view <- Some view;
+      multicast t "grp.reset"
+        (Wire.Reset_invite
+           { gname = t.gname; instance = t.epoch.instance; view; coord = t.me });
+      Sim.Proc.sleep t.config.reset_window;
+      t.reset_collect_view <- None;
+      if t.status = Normal then List.length t.members
+      else if t.reset_seen <> (view, t.me) then begin
+        (* A higher-priority coordinator took over: wait for its commit. *)
+        (try
+           Sim.Condvar.await ~timeout:(2.0 *. t.config.reset_window) t.changed
+             (fun () -> t.status = Normal)
+         with Sim.Proc.Timeout -> ());
+        if t.status = Normal then List.length t.members else attempt (n + 1)
+      end
+      else begin
+        let states = t.reset_states in
+        let base = List.fold_left (fun acc (_, h) -> max acc h) (-1) states in
+        (* Sync ourselves from the most advanced member first. *)
+        let synced =
+          if t.contig >= base then true
+          else begin
+            let donor, _ = List.find (fun (_, h) -> h = base) states in
+            unicast t ~dst:donor "grp.reset"
+              (Wire.Reset_fetch
+                 {
+                   gname = t.gname;
+                   instance = t.epoch.instance;
+                   from = t.contig + 1;
+                   upto = base;
+                 });
+            (try
+               Sim.Condvar.await ~timeout:t.config.reset_window t.changed
+                 (fun () -> t.contig >= base)
+             with Sim.Proc.Timeout -> ());
+            t.contig >= base
+          end
+        in
+        if (not synced) || t.reset_seen <> (view, t.me) then attempt (n + 1)
+        else begin
+          let new_members = List.sort compare (List.map fst states) in
+          let sequencer = List.hd new_members in
+          let epoch = { instance = t.epoch.instance; view } in
+          List.iter
+            (fun (m, have) ->
+              if m <> t.me then begin
+                let patch = ref [] in
+                for seqno = base downto have + 1 do
+                  match Hashtbl.find_opt t.store seqno with
+                  | Some entry -> patch := (seqno, entry) :: !patch
+                  | None -> ()
+                done;
+                unicast t ~dst:m "grp.reset"
+                  (Wire.Reset_commit
+                     {
+                       gname = t.gname;
+                       epoch;
+                       members = new_members;
+                       sequencer;
+                       base;
+                       patch = !patch;
+                     })
+              end)
+            states;
+          apply_reset_commit t ~epoch ~members:new_members ~sequencer ~base
+            ~patch:[];
+          List.length new_members
+        end
+      end
+    end
+  in
+  attempt 1
+
+(* ---- Event loop --------------------------------------------------- *)
+
+let handle_packet t (packet : Simnet.Packet.t) =
+  match packet.payload with
+  | Wire.Data { gname; epoch; seqno; entry } ->
+      if gname = t.gname then
+        if epoch_matches t epoch && t.status = Normal then begin
+          t.last_from_seq <- now t;
+          store_data t ~seqno ~entry
+        end
+        else if t.status = Idle && t.join_collect <> None then
+          (* Traffic racing our join: keep it until we know which group
+             (and base) we were admitted to. *)
+          t.join_stash <- (epoch, seqno, entry) :: t.join_stash
+  | Wire.Bcast_req { gname; epoch; origin; uid; payload } ->
+      if gname = t.gname && epoch_matches t epoch && is_sequencer t then
+        handle_bcast_req t ~origin ~uid ~payload
+  | Wire.Bb_body { gname; epoch; origin; uid; payload } ->
+      if gname = t.gname && epoch_matches t epoch && t.status = Normal then
+        if is_sequencer t then
+          handle_bb_body_at_sequencer t ~origin ~uid ~payload
+        else
+          (* Keep our own loopback copy too: the Accept will need it. *)
+          Hashtbl.replace t.bb_bodies (origin, uid) payload
+  | Wire.Bb_accept { gname; epoch; seqno; origin; uid } ->
+      if gname = t.gname && epoch_matches t epoch && t.status = Normal then begin
+        t.last_from_seq <- now t;
+        handle_bb_accept t ~seqno ~origin ~uid
+      end
+  | Wire.Ack { gname; epoch; member; have_upto } ->
+      if gname = t.gname && epoch_matches t epoch && is_sequencer t then
+        record_ack t ~member ~have_upto
+  | Wire.Done { gname; epoch; uid } ->
+      if gname = t.gname && epoch_matches t epoch then begin
+        match Hashtbl.find_opt t.pending_sends uid with
+        | Some ivar ->
+            Hashtbl.remove t.pending_sends uid;
+            Sim.Ivar.fill ivar ()
+        | None -> ()
+      end
+  | Wire.Retrans { gname; epoch; member; from } ->
+      if gname = t.gname && epoch_matches t epoch && is_sequencer t then
+        handle_retrans t ~member ~from
+  | Wire.Heartbeat { gname; epoch; highest } ->
+      if gname = t.gname && epoch_matches t epoch && t.status = Normal then begin
+        t.last_from_seq <- now t;
+        if highest > t.highest_seen then t.highest_seen <- highest;
+        if t.highest_seen > t.contig then request_retrans t;
+        if t.sequencer <> t.me then
+          unicast t ~dst:t.sequencer "grp.hback"
+            (Wire.Hb_ack
+               {
+                 gname = t.gname;
+                 epoch = t.epoch;
+                 member = t.me;
+                 have_upto = t.contig;
+               })
+      end
+  | Wire.Hb_ack { gname; epoch; member; have_upto } ->
+      if gname = t.gname && epoch_matches t epoch && is_sequencer t then
+        record_ack t ~member ~have_upto
+  | Wire.Fail { gname; epoch; reason } ->
+      if gname = t.gname && epoch_matches t epoch then
+        declare_broken t ~notify_peers:false reason
+  | Wire.Join_req { gname; joiner; uid } ->
+      if gname = t.gname && is_sequencer t then handle_join_req t ~joiner ~uid
+  | Wire.Join_grant { gname; epoch; uid; members; sequencer; base } ->
+      if gname = t.gname then begin
+        match t.join_collect with
+        | Some grants when t.status = Idle ->
+            t.join_collect <-
+              Some ((sequencer, members, base, epoch, uid) :: grants)
+        | Some _ | None -> ()
+      end
+  | Wire.Leave_req { gname; epoch; member } ->
+      if gname = t.gname && epoch_matches t epoch && is_sequencer t then
+        ignore (assign_and_multicast t (Wire.Leave_member member))
+  | Wire.Reset_invite { gname; instance; view; coord } ->
+      if gname = t.gname then handle_reset_invite t ~instance ~view ~coord
+  | Wire.Reset_state { gname; instance; view; member; have_upto } ->
+      if gname = t.gname && instance = t.epoch.instance then
+        handle_reset_state t ~view ~member ~have_upto
+  | Wire.Reset_fetch { gname; instance; from; upto } ->
+      if gname = t.gname && instance = t.epoch.instance then
+        handle_reset_fetch t ~requester:packet.src ~from ~upto
+  | Wire.Reset_entries { gname; instance; entries } ->
+      if gname = t.gname && instance = t.epoch.instance then
+        handle_reset_entries t entries
+  | Wire.Reset_commit { gname; epoch; members; sequencer; base; patch } ->
+      if gname = t.gname then
+        apply_reset_commit t ~epoch ~members ~sequencer ~base ~patch
+  | _ -> ()
+
+let failure_detector t () =
+  while t.status <> Left do
+    Sim.Proc.sleep t.config.heartbeat_period;
+    if t.status = Normal then
+      if t.sequencer = t.me then begin
+        (* Suppress the heartbeat when data traffic is already flowing. *)
+        if now t -. t.last_data_sent >= t.config.heartbeat_period then
+          multicast t "grp.hb"
+            (Wire.Heartbeat
+               { gname = t.gname; epoch = t.epoch; highest = t.seq_next - 1 });
+        List.iter
+          (fun m ->
+            if m <> t.me && t.status = Normal then
+              let heard =
+                match Hashtbl.find_opt t.last_heard m with
+                | Some v -> v
+                | None -> 0.0
+              in
+              if now t -. heard > t.config.fail_timeout then
+                declare_broken t ~notify_peers:true
+                  (Printf.sprintf "member %d silent" m))
+          t.members
+      end
+      else if now t -. t.last_from_seq > t.config.fail_timeout then
+        declare_broken t ~notify_peers:true "sequencer silent"
+  done
+
+let make ?metrics ?(config = Types.default_config) net nic ~gname =
+  let node = Simnet.Network.nic_node nic in
+  let engine = Simnet.Network.engine net in
+  let t =
+    {
+      net;
+      nic;
+      node;
+      engine;
+      gname;
+      proto = Wire.proto gname;
+      config;
+      metrics;
+      me = Sim.Node.id node;
+      status = Idle;
+      epoch = { instance = 0; view = 0 };
+      members = [];
+      sequencer = -1;
+      store = Hashtbl.create 256;
+      contig = 0;
+      highest_seen = 0;
+      deliver_q = Sim.Mailbox.create ~name:(gname ^ ".deliver") ();
+      changed = Sim.Condvar.create ();
+      next_uid = 0;
+      pending_sends = Hashtbl.create 8;
+      seq_next = 1;
+      acked = Hashtbl.create 8;
+      last_heard = Hashtbl.create 8;
+      pending_done = Hashtbl.create 8;
+      assigned_uids = Hashtbl.create 32;
+      join_assigned = Hashtbl.create 8;
+      last_data_sent = 0.0;
+      last_from_seq = Sim.Engine.now engine;
+      last_retrans_req = -1000.0;
+      join_collect = None;
+      join_stash = [];
+      bb_bodies = Hashtbl.create 16;
+      reset_seen = (0, -1);
+      reset_states = [];
+      reset_collect_view = None;
+    }
+  in
+  (* A fresh socket per member endpoint: a previous (left) member's
+     fiber may still be blocked on the old queue and must not steal
+     packets destined for this incarnation. *)
+  let socket = Simnet.Network.rebind_socket nic ~proto:t.proto in
+  Sim.Proc.boot engine node ~name:(gname ^ ".grp-loop") (fun () ->
+      while t.status <> Left do
+        handle_packet t (Sim.Mailbox.recv socket)
+      done);
+  Sim.Proc.boot engine node ~name:(gname ^ ".grp-fd") (failure_detector t);
+  t
+
+let create_group ?metrics ?config net nic ~gname =
+  let t = make ?metrics ?config net nic ~gname in
+  t.epoch <- { instance = fresh_instance t.me; view = 1 };
+  t.members <- [ t.me ];
+  t.sequencer <- t.me;
+  t.status <- Normal;
+  t.seq_next <- 1;
+  Hashtbl.replace t.acked t.me 0;
+  Hashtbl.replace t.last_heard t.me (Sim.Engine.now (Simnet.Network.engine net));
+  t
+
+let fresh_uid t =
+  t.next_uid <- t.next_uid + 1;
+  incr uid_counter;
+  (t.me * 100_000_000) + !uid_counter
+
+let join_group ?metrics ?config net nic ~gname =
+  let t = make ?metrics ?config net nic ~gname in
+  let uid = fresh_uid t in
+  t.join_collect <- Some [];
+  multicast t "grp.join" (Wire.Join_req { gname; joiner = t.me; uid });
+  Sim.Proc.sleep t.config.join_window;
+  let grants = match t.join_collect with Some g -> g | None -> [] in
+  t.join_collect <- None;
+  (* Prefer the largest group; break ties toward the lowest sequencer.
+     This makes partition-merge joins converge instead of ping-ponging. *)
+  let grants = List.filter (fun (_, _, _, _, u) -> u = uid) grants in
+  let best =
+    List.fold_left
+      (fun acc ((_, members, _, _, _) as grant) ->
+        match acc with
+        | None -> Some grant
+        | Some (seq', members', _, _, _) ->
+            let cmp = compare (List.length members) (List.length members') in
+            if cmp > 0 || (cmp = 0 && List.hd members < seq') then Some grant
+            else acc)
+      None grants
+  in
+  match best with
+  | None ->
+      t.status <- Left;
+      (* stops the fibers *)
+      raise (Join_failed (Printf.sprintf "%s: no grant received" gname))
+  | Some (sequencer, members, base, epoch, _) ->
+      t.epoch <- epoch;
+      t.members <-
+        (if List.mem t.me members then members
+         else List.sort compare (t.me :: members));
+      t.sequencer <- sequencer;
+      t.contig <- base;
+      t.highest_seen <- base;
+      t.seq_next <- base + 1;
+      t.reset_seen <- (epoch.view, sequencer);
+      t.status <- Normal;
+      t.last_from_seq <- Sim.Engine.now (Simnet.Network.engine net);
+      (* Replay data that raced the join. *)
+      let stash = List.rev t.join_stash in
+      t.join_stash <- [];
+      List.iter
+        (fun (e, seqno, entry) ->
+          if Types.epoch_compare e epoch = 0 && seqno > base then
+            store_data t ~seqno ~entry)
+        stash;
+      t
+
+let send t ?size payload =
+  if t.status <> Normal then
+    raise (Group_failure ("send while " ^ Types.status_to_string t.status));
+  let uid = fresh_uid t in
+  let epoch0 = t.epoch in
+  let rec attempt n =
+    if t.status <> Normal || Types.epoch_compare t.epoch epoch0 <> 0 then
+      raise (Group_failure "group changed during send");
+    if n > t.config.send_retries then begin
+      declare_broken t ~notify_peers:true "send timed out";
+      raise (Group_failure "send timed out")
+    end;
+    let ivar = Sim.Ivar.create () in
+    Hashtbl.replace t.pending_sends uid ivar;
+    (if t.sequencer = t.me then
+       (* The sequencer's own sends never need forwarding: order and
+          broadcast directly (identical under PB and BB). *)
+       handle_bcast_req t ~origin:t.me ~uid ~payload
+     else
+       match t.config.dissemination with
+       | Types.Pb ->
+           unicast t ~dst:t.sequencer "grp.req"
+             (Wire.Bcast_req
+                { gname = t.gname; epoch = t.epoch; origin = t.me; uid; payload })
+       | Types.Bb ->
+           multicast t "grp.body"
+             (Wire.Bb_body
+                { gname = t.gname; epoch = t.epoch; origin = t.me; uid; payload }));
+    match Sim.Ivar.read ~timeout:t.config.send_timeout ivar with
+    | () -> ()
+    | exception Sim.Proc.Timeout ->
+        Hashtbl.remove t.pending_sends uid;
+        attempt (n + 1)
+  in
+  ignore size;
+  attempt 1
+
+let rec receive ?timeout t =
+  (match t.status with
+  | Broken -> raise (Group_failure "group broken")
+  | Left -> raise (Group_failure "not a member")
+  | Idle -> raise (Group_failure "not joined")
+  | Normal | Resetting -> ());
+  match Sim.Mailbox.recv ?timeout t.deliver_q with
+  | Delivery d -> d
+  | Failed reason ->
+      if t.status = Broken || t.status = Resetting then begin
+        (* Leave the marker for other would-be receivers; each call
+           raises once until a reset succeeds. *)
+        Sim.Mailbox.send t.deliver_q (Failed reason);
+        raise (Group_failure reason)
+      end
+      else receive ?timeout t
+
+let leave t =
+  match t.status with
+  | Left -> ()
+  | Idle -> t.status <- Left
+  | Broken | Resetting ->
+      t.status <- Left;
+      Sim.Condvar.broadcast t.changed
+  | Normal ->
+      if t.sequencer = t.me then begin
+        (* Drain pending resilience work, then order our own departure so
+           the handover point is unambiguous. *)
+        (try
+           Sim.Condvar.await ~timeout:t.config.send_timeout t.changed (fun () ->
+               Hashtbl.length t.pending_done = 0)
+         with Sim.Proc.Timeout -> ());
+        ignore (assign_and_multicast t (Wire.Leave_member t.me))
+      end
+      else
+        unicast t ~dst:t.sequencer "grp.leave"
+          (Wire.Leave_req { gname = t.gname; epoch = t.epoch; member = t.me });
+      (try
+         Sim.Condvar.await ~timeout:t.config.send_timeout t.changed (fun () ->
+             t.status = Left)
+       with Sim.Proc.Timeout -> t.status <- Left)

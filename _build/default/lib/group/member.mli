@@ -1,0 +1,56 @@
+(** A group member endpoint: Amoeba's Fig. 1 primitives.
+
+    {ul
+    {- [create_group] / [join_group] — CreateGroup / JoinGroup}
+    {- [send] — SendToGroup: blocks until the message is held by r+1
+       members (resilience degree r); raises {!Types.Group_failure} if
+       the group breaks first}
+    {- [receive] — ReceiveFromGroup: the next delivery in the global
+       total order; raises {!Types.Group_failure} when the kernel has
+       detected a failure, after which the application must call
+       [reset]}
+    {- [reset] — ResetGroup: rebuild the group from the reachable
+       members; returns the new group size (the caller checks it against
+       its majority requirement)}
+    {- [leave] — LeaveGroup}
+    {- [info] — GetInfoGroup}}
+
+    All functions must be called from a fiber on the member's node. *)
+
+type t
+
+val create_group :
+  ?metrics:Sim.Metrics.t ->
+  ?config:Types.config ->
+  Simnet.Network.t ->
+  Simnet.Network.nic ->
+  gname:string ->
+  t
+
+(** [join_group net nic ~gname] broadcasts a join request, collects
+    grants for [join_window], and adopts the largest granting group.
+    Raises {!Types.Join_failed} when nobody grants. *)
+val join_group :
+  ?metrics:Sim.Metrics.t ->
+  ?config:Types.config ->
+  Simnet.Network.t ->
+  Simnet.Network.nic ->
+  gname:string ->
+  t
+
+val gname : t -> string
+
+val me : t -> int
+
+val send : t -> ?size:int -> Simnet.Payload.t -> unit
+
+val receive : ?timeout:float -> t -> Types.delivery
+
+val reset : t -> int
+
+val leave : t -> unit
+
+val info : t -> Types.info
+
+(** Sorted ids of the current view (= [(info t).members]). *)
+val members : t -> int list

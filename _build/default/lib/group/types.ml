@@ -1,0 +1,66 @@
+exception Group_failure of string
+
+exception Join_failed of string
+
+type epoch = { instance : int; view : int }
+
+let epoch_compare a b =
+  match compare a.instance b.instance with
+  | 0 -> compare a.view b.view
+  | c -> c
+
+let pp_epoch fmt e = Format.fprintf fmt "%d/%d" e.instance e.view
+
+type status = Idle | Normal | Broken | Resetting | Left
+
+let status_to_string = function
+  | Idle -> "idle"
+  | Normal -> "normal"
+  | Broken -> "broken"
+  | Resetting -> "resetting"
+  | Left -> "left"
+
+type delivery =
+  | Msg of { seqno : int; origin : int; payload : Simnet.Payload.t }
+  | Joined of { seqno : int; member : int }
+  | Departed of { seqno : int; member : int }
+
+let delivery_seqno = function
+  | Msg { seqno; _ } | Joined { seqno; _ } | Departed { seqno; _ } -> seqno
+
+type dissemination = Pb | Bb
+
+type config = {
+  dissemination : dissemination;
+  resilience : int;
+  heartbeat_period : float;
+  fail_timeout : float;
+  send_timeout : float;
+  send_retries : int;
+  join_window : float;
+  reset_window : float;
+  retrans_batch : int;
+}
+
+let default_config =
+  {
+    dissemination = Pb;
+    resilience = 2;
+    heartbeat_period = 25.0;
+    fail_timeout = 80.0;
+    send_timeout = 60.0;
+    send_retries = 3;
+    join_window = 5.0;
+    reset_window = 15.0;
+    retrans_batch = 256;
+  }
+
+type info = {
+  members : int list;
+  sequencer : int;
+  me : int;
+  status : status;
+  epoch : epoch;
+  next_deliver : int;
+  highest_seen : int;
+}

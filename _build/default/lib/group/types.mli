@@ -1,0 +1,80 @@
+(** Shared types for the group communication layer. *)
+
+(** Raised by [send]/[receive] when the group has suffered a failure the
+    kernel detected; the application must call [reset] (ResetGroup) to
+    rebuild, exactly as in the paper's Fig. 5 group thread. *)
+exception Group_failure of string
+
+(** Raised by [join] when no sequencer granted admission in time. *)
+exception Join_failed of string
+
+(** A group {e instance} is one creation lineage of a named group; a
+    fresh [create_group] starts a new instance. Within an instance the
+    view number increases on every successful ResetGroup. Messages are
+    only accepted from the exact same (instance, view): anything else is
+    either another partition's lineage or a superseded view. *)
+type epoch = { instance : int; view : int }
+
+val epoch_compare : epoch -> epoch -> int
+
+val pp_epoch : Format.formatter -> epoch -> unit
+
+type status =
+  | Idle  (** created but not yet admitted to a group *)
+  | Normal  (** operating *)
+  | Broken  (** failure detected; needs ResetGroup *)
+  | Resetting  (** ResetGroup in progress *)
+  | Left  (** after LeaveGroup *)
+
+val status_to_string : status -> string
+
+(** What [receive] (ReceiveFromGroup) delivers, in total order. Sequence
+    numbers are contiguous across items: membership changes occupy slots
+    in the same numbering as application messages, so a consumer can
+    always tell how far it has processed the stream. *)
+type delivery =
+  | Msg of { seqno : int; origin : int; payload : Simnet.Payload.t }
+  | Joined of { seqno : int; member : int }
+  | Departed of { seqno : int; member : int }
+
+val delivery_seqno : delivery -> int
+
+(** How a message reaches the members (Kaashoek & Tanenbaum's two
+    methods). {b PB}: the sender passes the message point-to-point to
+    the sequencer, which broadcasts it — 2 hops to order, the body
+    crosses the wire twice. {b BB}: the sender broadcasts the body
+    itself and the sequencer broadcasts a tiny Accept carrying only the
+    sequence number — same latency, but large bodies are not forwarded
+    through the sequencer. *)
+type dissemination = Pb | Bb
+
+type config = {
+  dissemination : dissemination;
+  resilience : int;
+      (** r: a completed send survives r member failures (the message is
+          held by r+1 members before the sender unblocks) *)
+  heartbeat_period : float;  (** sequencer heartbeat interval (ms) *)
+  fail_timeout : float;
+      (** silence threshold before declaring a failure (ms) *)
+  send_timeout : float;  (** per-attempt wait for send completion (ms) *)
+  send_retries : int;
+  join_window : float;  (** how long [join] collects grants (ms) *)
+  reset_window : float;  (** how long [reset] collects member states (ms) *)
+  retrans_batch : int;  (** max entries per retransmission request *)
+}
+
+val default_config : config
+
+(** GetInfoGroup result. *)
+type info = {
+  members : int list;  (** current view, sorted by node id *)
+  sequencer : int;
+  me : int;
+  status : status;
+  epoch : epoch;
+  next_deliver : int;  (** seqno of the next message [receive] will get *)
+  highest_seen : int;
+      (** highest seqno known to exist (from data or heartbeats); if
+          [highest_seen >= next_deliver] there are buffered/undelivered
+          messages — the paper's read-path check *)
+}

@@ -1,0 +1,112 @@
+type entry =
+  | App of { origin : int; uid : int; payload : Simnet.Payload.t }
+  | Join_member of int
+  | Leave_member of int
+
+type member_state = { member : int; have_upto : int }
+
+type Simnet.Payload.t +=
+  | Bcast_req of {
+      gname : string;
+      epoch : Types.epoch;
+      origin : int;
+      uid : int;
+      payload : Simnet.Payload.t;
+    }
+  | Bb_body of {
+      gname : string;
+      epoch : Types.epoch;
+      origin : int;
+      uid : int;
+      payload : Simnet.Payload.t;
+    }
+  | Bb_accept of {
+      gname : string;
+      epoch : Types.epoch;
+      seqno : int;
+      origin : int;
+      uid : int;
+    }
+  | Data of {
+      gname : string;
+      epoch : Types.epoch;
+      seqno : int;
+      entry : entry;
+    }
+  | Ack of { gname : string; epoch : Types.epoch; member : int; have_upto : int }
+  | Done of { gname : string; epoch : Types.epoch; uid : int }
+  | Retrans of {
+      gname : string;
+      epoch : Types.epoch;
+      member : int;
+      from : int;
+    }
+  | Heartbeat of { gname : string; epoch : Types.epoch; highest : int }
+  | Hb_ack of { gname : string; epoch : Types.epoch; member : int; have_upto : int }
+  | Fail of { gname : string; epoch : Types.epoch; reason : string }
+  | Join_req of { gname : string; joiner : int; uid : int }
+  | Join_grant of {
+      gname : string;
+      epoch : Types.epoch;
+      uid : int;
+      members : int list;
+      sequencer : int;
+      base : int;
+    }
+  | Leave_req of { gname : string; epoch : Types.epoch; member : int }
+  | Reset_invite of { gname : string; instance : int; view : int; coord : int }
+  | Reset_state of {
+      gname : string;
+      instance : int;
+      view : int;
+      member : int;
+      have_upto : int;
+    }
+  | Reset_fetch of { gname : string; instance : int; from : int; upto : int }
+  | Reset_entries of { gname : string; instance : int; entries : (int * entry) list }
+  | Reset_commit of {
+      gname : string;
+      epoch : Types.epoch;
+      members : int list;
+      sequencer : int;
+      base : int;
+      patch : (int * entry) list;
+    }
+
+let proto gname = "grp:" ^ gname
+
+let () =
+  Simnet.Payload.register_printer (function
+    | Bcast_req { origin; uid; _ } ->
+        Some (Printf.sprintf "grp.req %d.%d" origin uid)
+    | Data { seqno; _ } -> Some (Printf.sprintf "grp.data #%d" seqno)
+    | Bb_body { origin; uid; _ } -> Some (Printf.sprintf "grp.bb-body %d.%d" origin uid)
+    | Bb_accept { seqno; _ } -> Some (Printf.sprintf "grp.bb-accept #%d" seqno)
+    | Ack { member; have_upto; _ } ->
+        Some (Printf.sprintf "grp.ack %d<=%d" member have_upto)
+    | Done { uid; _ } -> Some (Printf.sprintf "grp.done %d" uid)
+    | Retrans { member; from; _ } ->
+        Some (Printf.sprintf "grp.retrans %d from %d" member from)
+    | Heartbeat { highest; _ } -> Some (Printf.sprintf "grp.hb %d" highest)
+    | Hb_ack { member; _ } -> Some (Printf.sprintf "grp.hback %d" member)
+    | Fail { reason; _ } -> Some (Printf.sprintf "grp.fail %s" reason)
+    | Join_req { joiner; _ } -> Some (Printf.sprintf "grp.join %d" joiner)
+    | Join_grant { members; _ } ->
+        Some
+          (Printf.sprintf "grp.grant [%s]"
+             (String.concat "," (List.map string_of_int members)))
+    | Leave_req { member; _ } -> Some (Printf.sprintf "grp.leave %d" member)
+    | Reset_invite { view; coord; _ } ->
+        Some (Printf.sprintf "grp.reset-invite v%d by %d" view coord)
+    | Reset_state { member; have_upto; _ } ->
+        Some (Printf.sprintf "grp.reset-state %d<=%d" member have_upto)
+    | Reset_fetch { from; upto; _ } ->
+        Some (Printf.sprintf "grp.reset-fetch %d..%d" from upto)
+    | Reset_entries { entries; _ } ->
+        Some (Printf.sprintf "grp.reset-entries n=%d" (List.length entries))
+    | Reset_commit { members; base; _ } ->
+        Some
+          (Printf.sprintf "grp.reset-commit [%s] base=%d"
+             (String.concat "," (List.map string_of_int members))
+             base)
+    | _ -> None)

@@ -1,0 +1,94 @@
+(** Wire messages of the sequencer-based total-order broadcast protocol
+    (the PB method of Kaashoek & Tanenbaum's Amoeba group protocol).
+
+    Normal operation: a member sends [Bcast_req] point-to-point to the
+    sequencer; the sequencer assigns the next global sequence number and
+    multicasts [Data]; members deliver strictly in sequence and return
+    cumulative [Ack]s; once r+1 members hold the message the sequencer
+    tells the origin with [Done], unblocking its SendToGroup. With a
+    triplicated group and r = 2 that is 5 messages — the paper's count.
+
+    Failure handling: heartbeats double as "highest assigned seqno"
+    gossip; gaps trigger [Retrans]; silence triggers [Fail]; recovery is
+    the invite/state/commit view change behind ResetGroup. *)
+
+type entry =
+  | App of { origin : int; uid : int; payload : Simnet.Payload.t }
+  | Join_member of int
+  | Leave_member of int
+
+type member_state = {
+  member : int;
+  have_upto : int;  (** highest contiguous seqno this member holds *)
+}
+
+type Simnet.Payload.t +=
+  | Bcast_req of {
+      gname : string;
+      epoch : Types.epoch;
+      origin : int;
+      uid : int;
+      payload : Simnet.Payload.t;
+    }
+  | Bb_body of {
+      gname : string;
+      epoch : Types.epoch;
+      origin : int;
+      uid : int;
+      payload : Simnet.Payload.t;
+    }
+  | Bb_accept of {
+      gname : string;
+      epoch : Types.epoch;
+      seqno : int;
+      origin : int;
+      uid : int;
+    }
+  | Data of {
+      gname : string;
+      epoch : Types.epoch;
+      seqno : int;
+      entry : entry;
+    }
+  | Ack of { gname : string; epoch : Types.epoch; member : int; have_upto : int }
+  | Done of { gname : string; epoch : Types.epoch; uid : int }
+  | Retrans of {
+      gname : string;
+      epoch : Types.epoch;
+      member : int;
+      from : int;
+    }
+  | Heartbeat of { gname : string; epoch : Types.epoch; highest : int }
+  | Hb_ack of { gname : string; epoch : Types.epoch; member : int; have_upto : int }
+  | Fail of { gname : string; epoch : Types.epoch; reason : string }
+  | Join_req of { gname : string; joiner : int; uid : int }
+  | Join_grant of {
+      gname : string;
+      epoch : Types.epoch;
+      uid : int;
+      members : int list;
+      sequencer : int;
+      base : int;  (** joiner's first seqno is [base + 1] *)
+    }
+  | Leave_req of { gname : string; epoch : Types.epoch; member : int }
+  | Reset_invite of { gname : string; instance : int; view : int; coord : int }
+  | Reset_state of {
+      gname : string;
+      instance : int;
+      view : int;
+      member : int;
+      have_upto : int;
+    }
+  | Reset_fetch of { gname : string; instance : int; from : int; upto : int }
+  | Reset_entries of { gname : string; instance : int; entries : (int * entry) list }
+  | Reset_commit of {
+      gname : string;
+      epoch : Types.epoch;  (** the new view *)
+      members : int list;
+      sequencer : int;
+      base : int;  (** the new view starts assigning at [base + 1] *)
+      patch : (int * entry) list;  (** entries the receiver was missing *)
+    }
+
+(** Socket protocol key for a named group. *)
+val proto : string -> string

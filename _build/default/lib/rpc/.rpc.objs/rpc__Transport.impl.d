@@ -1,0 +1,1 @@
+lib/rpc/transport.ml: Hashtbl List Printf Sim Simnet Wire

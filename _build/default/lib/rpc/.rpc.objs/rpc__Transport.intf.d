@@ -1,0 +1,1 @@
+lib/rpc/transport.mli: Sim Simnet

@@ -1,0 +1,1 @@
+lib/rpc/wire.mli: Simnet

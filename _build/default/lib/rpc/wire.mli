@@ -1,0 +1,25 @@
+(** RPC wire messages (Amoeba transaction protocol).
+
+    An Amoeba RPC costs three packets — request, reply, acknowledgement —
+    and is preceded, the first time a client talks to a service, by a
+    broadcast {e locate}: every machine running a server that is
+    currently listening on the port answers HEREIS; a busy server that
+    receives a request answers NOTHERE, making the client fall back to
+    another cached server. The paper's Figure 8 throughput shape comes
+    from this heuristic. *)
+
+type Simnet.Payload.t +=
+  | Locate of { port : string; xid : int; client : int }
+  | Here_is of { port : string; xid : int; server : int }
+  | Request of {
+      port : string;
+      xid : int;
+      client : int;
+      body : Simnet.Payload.t;
+    }
+  | Reply of { xid : int; server : int; body : Simnet.Payload.t }
+  | Not_here of { port : string; xid : int; server : int }
+  | Ack of { xid : int; client : int }
+
+(** Socket protocol key all RPC traffic travels on. *)
+val proto : string

@@ -1,0 +1,1 @@
+lib/sim/node.ml: Format List

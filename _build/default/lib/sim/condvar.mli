@@ -1,0 +1,21 @@
+(** Broadcast condition variables for fibers.
+
+    The group directory server's [increase_and_wakeup(seqno)] step (paper,
+    Fig. 5) is exactly a condition broadcast: the group thread bumps the
+    applied sequence number and wakes the server threads waiting for their
+    operation — or for all preceding writes — to be applied. *)
+
+type t
+
+val create : unit -> t
+
+(** [wait ?timeout cv] blocks until the next [broadcast]. Raises
+    {!Proc.Timeout} if [timeout] (milliseconds) elapses first. *)
+val wait : ?timeout:float -> t -> unit
+
+(** Wake every fiber currently blocked in [wait]. *)
+val broadcast : t -> unit
+
+(** [await cv pred] returns as soon as [pred ()] holds, re-checking after
+    every broadcast. Checks [pred] once before blocking. *)
+val await : ?timeout:float -> t -> (unit -> bool) -> unit

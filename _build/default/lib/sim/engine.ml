@@ -1,0 +1,68 @@
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  heap : (unit -> unit) Heap.t;
+  rng : Rng.t;
+  mutable stop_requested : bool;
+  mutable events_executed : int;
+  mutable tracer : (float -> string -> unit) option;
+}
+
+exception Stopped
+
+let create ?(seed = 0x12345678L) () =
+  {
+    now = 0.0;
+    seq = 0;
+    heap = Heap.create ();
+    rng = Rng.create seed;
+    stop_requested = false;
+    events_executed = 0;
+    tracer = None;
+  }
+
+let now t = t.now
+
+let rng t = t.rng
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  t.seq <- t.seq + 1;
+  Heap.push t.heap ~time:(t.now +. delay) ~seq:t.seq f
+
+let stop t = t.stop_requested <- true
+
+let events_executed t = t.events_executed
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let trace t message =
+  match t.tracer with None -> () | Some tracer -> tracer t.now message
+
+let tracef t fmt =
+  match t.tracer with
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  | Some tracer ->
+      Format.kasprintf (fun message -> tracer t.now message) fmt
+
+let run ?until t =
+  t.stop_requested <- false;
+  let continue = ref true in
+  while !continue do
+    if t.stop_requested then continue := false
+    else
+      match Heap.pop_min t.heap with
+      | None -> continue := false
+      | Some (time, seq, f) -> (
+          match until with
+          | Some limit when time > limit ->
+              (* Put the event back (same seq, so tie order is preserved):
+                 a later [run] may still want it. *)
+              Heap.push t.heap ~time ~seq f;
+              t.now <- limit;
+              continue := false
+          | _ ->
+              t.now <- time;
+              t.events_executed <- t.events_executed + 1;
+              f ())
+  done

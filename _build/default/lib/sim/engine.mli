@@ -1,0 +1,42 @@
+(** Discrete-event simulation engine.
+
+    The engine owns the virtual clock and the event heap. Everything that
+    happens in a simulation — fiber wakeups, network deliveries, timers —
+    is an event scheduled here. Events with equal timestamps run in the
+    order they were scheduled, so a run is a pure function of the seed. *)
+
+type t
+
+exception Stopped
+
+val create : ?seed:int64 -> unit -> t
+
+(** Current virtual time, in milliseconds. *)
+val now : t -> float
+
+(** The engine's root random stream (split it rather than sharing it). *)
+val rng : t -> Rng.t
+
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be
+    non-negative. *)
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+(** [run t] executes events until the heap drains, [stop] is called, or
+    [until] (absolute virtual time) is reached. An exception escaping an
+    event aborts the run and is re-raised to the caller of [run]. *)
+val run : ?until:float -> t -> unit
+
+(** Ask the engine to stop after the current event. *)
+val stop : t -> unit
+
+(** Number of events executed so far (for tests and reporting). *)
+val events_executed : t -> int
+
+(** Optional trace hook, called as [tracer time message] by [trace]. *)
+val set_tracer : t -> (float -> string -> unit) option -> unit
+
+val trace : t -> string -> unit
+
+(** [tracef t fmt ...] formats lazily: the format arguments are only
+    rendered when a tracer is installed. *)
+val tracef : t -> ('a, Format.formatter, unit, unit) format4 -> 'a

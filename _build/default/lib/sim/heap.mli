@@ -1,0 +1,26 @@
+(** Binary min-heap keyed by [(time, sequence)] pairs.
+
+    The heap is the core of the event loop: events fire in increasing
+    timestamp order, and events with equal timestamps fire in insertion
+    order (the [sequence] component), which is what makes simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push heap ~time ~seq value] inserts [value] with priority
+    [(time, seq)]. Lower times pop first; among equal times, lower
+    sequence numbers pop first. *)
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** [pop_min heap] removes and returns the minimum element, or [None]
+    when the heap is empty. *)
+val pop_min : 'a t -> (float * int * 'a) option
+
+(** [peek_min heap] returns the minimum element without removing it. *)
+val peek_min : 'a t -> (float * int * 'a) option

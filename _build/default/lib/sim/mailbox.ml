@@ -1,0 +1,44 @@
+type 'a t = {
+  name : string;
+  queue : 'a Queue.t;
+  mutable wait_queue : 'a Proc.Waker.t list; (* oldest first *)
+}
+
+let create ?(name = "mailbox") () =
+  { name; queue = Queue.create (); wait_queue = [] }
+
+let name t = t.name
+
+let prune t =
+  t.wait_queue <- List.filter Proc.Waker.is_viable t.wait_queue
+
+let send t v =
+  prune t;
+  match t.wait_queue with
+  | [] -> Queue.push v t.queue
+  | waker :: rest ->
+      t.wait_queue <- rest;
+      if not (Proc.Waker.wake waker v) then Queue.push v t.queue
+
+let try_recv t = Queue.take_opt t.queue
+
+let recv ?timeout t =
+  match Queue.take_opt t.queue with
+  | Some v -> v
+  | None ->
+      let engine = Proc.engine () in
+      Proc.suspend (fun waker ->
+          t.wait_queue <- t.wait_queue @ [ waker ];
+          match timeout with
+          | None -> ()
+          | Some d ->
+              Engine.schedule engine ~delay:d (fun () ->
+                  ignore (Proc.Waker.wake_exn waker Proc.Timeout)))
+
+let length t = Queue.length t.queue
+
+let waiters t =
+  prune t;
+  List.length t.wait_queue
+
+let clear t = Queue.clear t.queue

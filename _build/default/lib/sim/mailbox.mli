@@ -1,0 +1,35 @@
+(** Unbounded FIFO message queues with blocking receive.
+
+    Mailboxes connect event-world producers (network deliveries, timers)
+    to fiber-world consumers (server threads). Sends never block; receives
+    block the calling fiber until a message or a timeout arrives. Waiting
+    fibers are served in FIFO order, and a message is only handed to a
+    waiter whose node incarnation is still alive — otherwise the message
+    stays queued. *)
+
+type 'a t
+
+val create : ?name:string -> unit -> 'a t
+
+val name : 'a t -> string
+
+(** [send mbox v] enqueues [v] or hands it directly to the oldest viable
+    waiter. Callable from fibers and from plain engine events alike. *)
+val send : 'a t -> 'a -> unit
+
+(** [recv ?timeout mbox] blocks until a message is available. Raises
+    {!Proc.Timeout} if [timeout] (milliseconds) elapses first. *)
+val recv : ?timeout:float -> 'a t -> 'a
+
+val try_recv : 'a t -> 'a option
+
+(** Queued (undelivered) message count. *)
+val length : 'a t -> int
+
+(** Number of fibers currently blocked in [recv]. The RPC layer uses this
+    to decide whether a server is "listening" (idle thread available) —
+    the NOTHERE heuristic from the paper. *)
+val waiters : 'a t -> int
+
+(** [clear mbox] drops all queued messages (crash cleanup). *)
+val clear : 'a t -> unit

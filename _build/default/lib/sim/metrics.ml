@@ -1,0 +1,58 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  series : (string, float list ref) Hashtbl.t; (* newest first *)
+}
+
+let create () = { counters = Hashtbl.create 32; series = Hashtbl.create 32 }
+
+let counter_ref t key =
+  match Hashtbl.find_opt t.counters key with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters key r;
+      r
+
+let incr ?(by = 1) t key =
+  let r = counter_ref t key in
+  r := !r + by
+
+let count t key = match Hashtbl.find_opt t.counters key with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun key r acc -> (key, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let delta ~before ~after =
+  let lookup key list =
+    match List.assoc_opt key list with Some v -> v | None -> 0
+  in
+  List.filter_map
+    (fun (key, v) ->
+      let d = v - lookup key before in
+      if d = 0 then None else Some (key, d))
+    after
+
+let series_ref t key =
+  match Hashtbl.find_opt t.series key with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add t.series key r;
+      r
+
+let observe t key v =
+  let r = series_ref t key in
+  r := v :: !r
+
+let samples t key =
+  match Hashtbl.find_opt t.series key with
+  | Some r -> List.rev !r
+  | None -> []
+
+let sample_count t key =
+  match Hashtbl.find_opt t.series key with Some r -> List.length !r | None -> 0
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.series

@@ -1,0 +1,32 @@
+(** Named counters and sample collections for experiments.
+
+    The benches rebuild the paper's §3.1 cost analysis (messages and disk
+    operations per directory update) from these counters, and the figure
+    harnesses aggregate latency samples recorded here. *)
+
+type t
+
+val create : unit -> t
+
+(** Counters. *)
+
+val incr : ?by:int -> t -> string -> unit
+
+val count : t -> string -> int
+
+(** All counters, sorted by name. *)
+val counters : t -> (string * int) list
+
+(** [delta ~before ~after] is the per-counter difference; counters absent
+    in [before] count from zero. *)
+val delta : before:(string * int) list -> after:(string * int) list -> (string * int) list
+
+(** Samples (e.g. latencies). *)
+
+val observe : t -> string -> float -> unit
+
+val samples : t -> string -> float list
+
+val sample_count : t -> string -> int
+
+val reset : t -> unit

@@ -1,0 +1,111 @@
+exception Timeout
+
+exception Cancelled of string
+
+module Waker = struct
+  type 'a t = {
+    mutable used : bool;
+    viable : unit -> bool;
+    fire : ('a, exn) result -> unit;
+  }
+
+  let is_viable w = (not w.used) && w.viable ()
+
+  let wake w v =
+    if is_viable w then begin
+      w.used <- true;
+      w.fire (Ok v);
+      true
+    end
+    else false
+
+  let wake_exn w e =
+    if is_viable w then begin
+      w.used <- true;
+      w.fire (Error e);
+      true
+    end
+    else false
+end
+
+type ctx = {
+  engine : Engine.t;
+  node : Node.t;
+  incarnation : int;
+  name : string;
+}
+
+type _ Effect.t +=
+  | Suspend : ('a Waker.t -> unit) -> 'a Effect.t
+  | Get_ctx : ctx Effect.t
+
+let rec run_fiber ctx f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = ignore;
+      (* A fiber's uncaught exception aborts the whole run: protocol code
+         is expected to handle its own errors, so anything escaping is a
+         bug we want tests to see immediately. *)
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let viable () =
+                    Node.is_alive ctx.node
+                    && Node.incarnation ctx.node = ctx.incarnation
+                  in
+                  let fire res =
+                    Engine.schedule ctx.engine ~delay:0.0 (fun () ->
+                        if viable () then
+                          match res with
+                          | Ok v -> continue k v
+                          | Error e -> discontinue k e)
+                  in
+                  register { Waker.used = false; viable; fire })
+          | Get_ctx -> Some (fun (k : (a, _) continuation) -> continue k ctx)
+          | _ -> None);
+    }
+
+and boot engine node ?(name = "fiber") f =
+  Engine.schedule engine ~delay:0.0 (fun () ->
+      if Node.is_alive node then
+        run_fiber
+          { engine; node; incarnation = Node.incarnation node; name }
+          f)
+
+let get_ctx () = Effect.perform Get_ctx
+
+let suspend register = Effect.perform (Suspend register)
+
+let spawn ?name f =
+  let ctx = get_ctx () in
+  boot ctx.engine ctx.node ?name f
+
+let sleep d =
+  let ctx = get_ctx () in
+  suspend (fun w ->
+      Engine.schedule ctx.engine ~delay:d (fun () -> ignore (Waker.wake w ())))
+
+let yield () = sleep 0.0
+
+let now () = Engine.now (get_ctx ()).engine
+
+let engine () = (get_ctx ()).engine
+
+let node () = (get_ctx ()).node
+
+let self_name () = (get_ctx ()).name
+
+let with_timeout d f =
+  let ctx = get_ctx () in
+  suspend (fun w ->
+      Engine.schedule ctx.engine ~delay:d (fun () ->
+          ignore (Waker.wake_exn w Timeout));
+      boot ctx.engine ctx.node ~name:(ctx.name ^ ".timed") (fun () ->
+          match f () with
+          | v -> ignore (Waker.wake w v)
+          | exception e -> ignore (Waker.wake_exn w e)))

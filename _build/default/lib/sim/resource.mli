@@ -1,0 +1,33 @@
+(** FIFO-fair counted resources (CPUs, disk arms).
+
+    A resource with capacity 1 serialises its users: while one fiber holds
+    it, others queue in arrival order. [use] models occupying the resource
+    for a stretch of virtual time — e.g. a CPU processing a request for
+    3 ms, or a disk performing a 40 ms write. This is what makes server
+    throughput saturate realistically instead of scaling with the number
+    of threads.
+
+    Resources are volatile: per-incarnation code creates them at boot, so
+    a crash simply abandons the old object. *)
+
+type t
+
+val create : ?name:string -> capacity:int -> unit -> t
+
+val name : t -> string
+
+(** Fibers currently holding a unit. *)
+val in_use : t -> int
+
+(** Fibers queued waiting for a unit. *)
+val queued : t -> int
+
+val acquire : t -> unit
+
+val release : t -> unit
+
+(** [use t d] = acquire; sleep [d]; release. *)
+val use : t -> float -> unit
+
+(** [with_held t f] = acquire; run [f]; release (also on exception). *)
+val with_held : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of randomness in a simulation draws from one [t] seeded
+    at engine creation, so a given seed always reproduces the same run.
+    Splitmix64 is tiny, fast, and has well-understood statistical
+    quality for simulation purposes. *)
+
+type t
+
+val create : int64 -> t
+
+(** [split rng] derives an independent generator from [rng]; used to give
+    subsystems their own streams without coupling their consumption. *)
+val split : t -> t
+
+val int64 : t -> int64
+
+(** [int rng bound] draws uniformly from [0, bound). Raises
+    [Invalid_argument] if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [float rng] draws uniformly from [0, 1). *)
+val float : t -> float
+
+(** [uniform rng ~lo ~hi] draws uniformly from [lo, hi). *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** [exponential rng ~mean] draws from the exponential distribution. *)
+val exponential : t -> mean:float -> float
+
+(** [bool rng ~p] is [true] with probability [p]. *)
+val bool : t -> p:float -> bool
+
+(** [pick rng list] selects a uniformly random element.
+    Raises [Invalid_argument] on the empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [shuffle rng list] returns a uniformly random permutation. *)
+val shuffle : t -> 'a list -> 'a list

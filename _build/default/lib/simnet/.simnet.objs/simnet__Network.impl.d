@@ -1,0 +1,1 @@
+lib/simnet/network.ml: Array Hashtbl List Packet Sim

@@ -1,0 +1,1 @@
+lib/simnet/network.mli: Packet Payload Sim

@@ -1,0 +1,197 @@
+type fault_action = Deliver | Drop | Delay of float
+
+type latency = { base : float; jitter : float; local : float }
+
+let default_latency = { base = 0.7; jitter = 0.2; local = 0.05 }
+
+type nic = {
+  node : Sim.Node.t;
+  incarnation : int;
+  sockets : (string, Packet.t Sim.Mailbox.t) Hashtbl.t;
+}
+
+type rail = {
+  mutable cells : int list list option; (* None = fully connected *)
+  mutable up : bool;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  rng : Sim.Rng.t;
+  metrics : Sim.Metrics.t option;
+  latency : latency;
+  nics : (int, nic) Hashtbl.t; (* node id -> live NIC *)
+  rail_states : rail array;
+  mutable loss : float;
+  mutable fault_filter : (Packet.t -> fault_action) option;
+}
+
+let create engine ?metrics ?(latency = default_latency) ?(rails = 1) () =
+  if rails < 1 then invalid_arg "Network.create: at least one rail";
+  {
+    engine;
+    rng = Sim.Rng.split (Sim.Engine.rng engine);
+    metrics;
+    latency;
+    nics = Hashtbl.create 16;
+    rail_states = Array.init rails (fun _ -> { cells = None; up = true });
+    loss = 0.0;
+    fault_filter = None;
+  }
+
+let engine t = t.engine
+
+let attach t node =
+  let nic =
+    {
+      node;
+      incarnation = Sim.Node.incarnation node;
+      sockets = Hashtbl.create 8;
+    }
+  in
+  Hashtbl.replace t.nics (Sim.Node.id node) nic;
+  Sim.Node.on_crash node (fun () ->
+      match Hashtbl.find_opt t.nics (Sim.Node.id node) with
+      | Some current when current == nic -> Hashtbl.remove t.nics (Sim.Node.id node)
+      | Some _ | None -> ());
+  nic
+
+let nic_node nic = nic.node
+
+let socket nic ~proto =
+  match Hashtbl.find_opt nic.sockets proto with
+  | Some mbox -> mbox
+  | None ->
+      let mbox = Sim.Mailbox.create ~name:proto () in
+      Hashtbl.add nic.sockets proto mbox;
+      mbox
+
+let rebind_socket nic ~proto =
+  let mbox = Sim.Mailbox.create ~name:proto () in
+  Hashtbl.replace nic.sockets proto mbox;
+  mbox
+
+let rails t = Array.length t.rail_states
+
+let set_partitions t cells =
+  Array.iter (fun rail -> rail.cells <- Some cells) t.rail_states
+
+let set_rail_partitions t ~rail cells =
+  t.rail_states.(rail).cells <- Some cells
+
+let fail_rail t ~rail = t.rail_states.(rail).up <- false
+
+let restore_rail t ~rail = t.rail_states.(rail).up <- true
+
+let heal t =
+  Array.iter
+    (fun rail ->
+      rail.cells <- None;
+      rail.up <- true)
+    t.rail_states
+
+let rail_reachable rail a b =
+  rail.up
+  &&
+  match rail.cells with
+  | None -> true
+  | Some cells ->
+      let cell_of node = List.find_opt (fun cell -> List.mem node cell) cells in
+      (match (cell_of a, cell_of b) with
+      | Some ca, Some cb -> ca == cb
+      | _ -> false)
+
+(* One healthy rail between two hosts is enough: FLIP routes around the
+   damage without the layers above noticing. *)
+let reachable t a b =
+  a = b || Array.exists (fun rail -> rail_reachable rail a b) t.rail_states
+
+let set_loss t p = t.loss <- p
+
+let set_fault_filter t f = t.fault_filter <- f
+
+let nic_is_live t nic =
+  Sim.Node.is_alive nic.node
+  && Sim.Node.incarnation nic.node = nic.incarnation
+  &&
+  match Hashtbl.find_opt t.nics (Sim.Node.id nic.node) with
+  | Some current -> current == nic
+  | None -> false
+
+let count t key = match t.metrics with None -> () | Some m -> Sim.Metrics.incr m key
+
+let delivery_delay t ~src ~dst =
+  if src = dst then t.latency.local
+  else
+    t.latency.base +. Sim.Rng.uniform t.rng ~lo:0.0 ~hi:t.latency.jitter
+
+(* Deliver [packet] to [dst]'s socket after [delay]; re-checks liveness,
+   reachability and socket existence at delivery time, as a real wire +
+   NIC would. *)
+let deliver_later t packet ~dst ~delay =
+  Sim.Engine.schedule t.engine ~delay (fun () ->
+      if reachable t packet.Packet.src dst then
+        match Hashtbl.find_opt t.nics dst with
+        | Some nic when nic_is_live t nic -> (
+            match Hashtbl.find_opt nic.sockets packet.proto with
+            | Some mbox -> Sim.Mailbox.send mbox packet
+            | None -> ())
+        | Some _ | None -> ())
+
+let apply_fault_filter t packet =
+  match t.fault_filter with None -> Deliver | Some f -> f packet
+
+let lost t ~src ~dst =
+  (* Loopback never touches the wire, so it cannot be lost. *)
+  src <> dst && Sim.Rng.bool t.rng ~p:t.loss
+
+let transmit t packet ~dst ~extra_delay =
+  if reachable t packet.Packet.src dst && not (lost t ~src:packet.Packet.src ~dst)
+  then begin
+    let delay = delivery_delay t ~src:packet.src ~dst +. extra_delay in
+    deliver_later t packet ~dst ~delay
+  end
+
+let send t nic ~dst ~proto ?(size = 64) payload =
+  if nic_is_live t nic then begin
+    let packet =
+      { Packet.src = Sim.Node.id nic.node; dst = Unicast dst; proto; payload; size }
+    in
+    Sim.Engine.tracef t.engine "net: %a" Packet.pp packet;
+    count t "net.pkt";
+    count t ("net.pkt." ^ proto);
+    match apply_fault_filter t packet with
+    | Drop -> ()
+    | Deliver -> transmit t packet ~dst ~extra_delay:0.0
+    | Delay d -> transmit t packet ~dst ~extra_delay:d
+  end
+
+let multicast t nic ~proto ?(size = 64) payload =
+  if nic_is_live t nic then begin
+    let src = Sim.Node.id nic.node in
+    let packet = { Packet.src; dst = Multicast; proto; payload; size } in
+    Sim.Engine.tracef t.engine "net: %a" Packet.pp packet;
+    (* Ethernet multicast: one packet on the wire regardless of the
+       number of receivers — this is what makes SendToGroup cheap. *)
+    count t "net.pkt";
+    count t ("net.pkt." ^ proto);
+    count t "net.mcast";
+    match apply_fault_filter t packet with
+    | Drop -> ()
+    | (Deliver | Delay _) as action ->
+        let extra_delay = match action with Delay d -> d | Deliver | Drop -> 0.0 in
+        (* Visit receivers in node-id order so the per-receiver jitter
+           draws are deterministic for a given seed. *)
+        let receivers =
+          Hashtbl.fold (fun dst nic acc -> (dst, nic) :: acc) t.nics []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        let deliver_one (dst, nic) =
+          if Hashtbl.mem nic.sockets proto then
+            if not (lost t ~src ~dst) then begin
+              let delay = delivery_delay t ~src ~dst +. extra_delay in
+              deliver_later t packet ~dst ~delay
+            end
+        in
+        List.iter deliver_one receivers
+  end

@@ -1,0 +1,113 @@
+(** The simulated Ethernet segment.
+
+    Models what the paper's 10 Mbit/s Ethernet + FLIP stack provides:
+
+    - unicast datagrams with configurable latency and jitter;
+    - hardware multicast — one packet reaches every listening node in the
+      sender's partition (this is why [SendToGroup] costs so few
+      messages);
+    - {e clean} network partitions: nodes in the same cell communicate,
+      nodes in different cells do not, with no in-between;
+    - optional uniform packet loss and a per-packet fault filter for
+      targeted test interference.
+
+    A node talks to the network through a {!nic} obtained from [attach].
+    NICs die with their node incarnation: packets addressed to a crashed
+    or restarted-since node are dropped, like frames to a powered-off
+    host. *)
+
+type t
+
+type nic
+
+type fault_action = Deliver | Drop | Delay of float
+
+(** Latency parameters, in milliseconds. Delivery takes
+    [base + uniform(0, jitter)], or [local] when a node sends to itself
+    (loopback, no wire). *)
+type latency = { base : float; jitter : float; local : float }
+
+val default_latency : latency
+
+val create :
+  Sim.Engine.t ->
+  ?metrics:Sim.Metrics.t ->
+  ?latency:latency ->
+  ?rails:int ->
+  unit ->
+  t
+  [@@ocaml.doc
+    "[create engine ()] makes an empty network. [metrics] receives\n\
+    \ per-protocol packet counters (used to rebuild the paper's message\n\
+    \ cost analysis)."]
+
+val engine : t -> Sim.Engine.t
+
+(** [attach net node] connects [node] with a fresh NIC for its current
+    incarnation, replacing any previous NIC. The NIC is torn down if the
+    node crashes. *)
+val attach : t -> Sim.Node.t -> nic
+
+val nic_node : nic -> Sim.Node.t
+
+(** [socket nic ~proto] returns the receive queue for [proto] packets,
+    creating it if needed. A NIC only receives multicasts for protocols
+    it has a socket for. *)
+val socket : nic -> proto:string -> Packet.t Sim.Mailbox.t
+
+(** [rebind_socket nic ~proto] installs and returns a {e fresh} queue for
+    [proto], orphaning the previous one. Use when a protocol endpoint is
+    reincarnated on a live node (e.g. leaving and re-joining a group):
+    a fiber still blocked on the old queue must not steal packets meant
+    for the new endpoint. *)
+val rebind_socket : nic -> proto:string -> Packet.t Sim.Mailbox.t
+
+(** [send net nic ~dst ~proto payload] transmits a unicast packet. It is
+    silently dropped when src and dst are in different partition cells,
+    when the loss process fires, or when the destination has no live NIC
+    or no [proto] socket at delivery time. *)
+val send : t -> nic -> dst:int -> proto:string -> ?size:int -> Payload.t -> unit
+
+(** [multicast net nic ~proto payload] delivers one packet to every node
+    in the sender's partition cell with a [proto] socket — including the
+    sender itself. *)
+val multicast : t -> nic -> proto:string -> ?size:int -> Payload.t -> unit
+
+(** Partition control. [set_partitions net cells] installs clean cells,
+    e.g. [[ [1;2]; [3] ]]. Nodes not listed are unreachable by and from
+    everyone. [heal] restores full connectivity.
+
+    {b Redundant rails} (the paper's §2 deployment requirement: "all the
+    directory servers should be connected by multiple, redundant
+    networks"): a network can be created with [rails] physical segments.
+    Each packet is carried by any rail that currently connects source
+    and destination — one healthy rail suffices, so cutting or
+    partitioning a single rail is invisible to the protocols above,
+    exactly as FLIP promised. [set_partitions] cuts {e every} rail the
+    same way (a true network partition); [set_rail_partitions] and
+    [fail_rail] damage one rail only. *)
+
+val set_partitions : t -> int list list -> unit
+
+(** [set_rail_partitions net ~rail cells] partitions one rail only. *)
+val set_rail_partitions : t -> rail:int -> int list list -> unit
+
+(** [fail_rail net ~rail] takes a whole rail down ([restore_rail] undoes). *)
+val fail_rail : t -> rail:int -> unit
+
+val restore_rail : t -> rail:int -> unit
+
+(** Number of physical rails (1 unless created with [rails]). *)
+val rails : t -> int
+
+val heal : t -> unit
+
+val reachable : t -> int -> int -> bool
+
+(** Uniform packet loss probability (applied to unicasts and, per
+    receiver, to multicasts). *)
+val set_loss : t -> float -> unit
+
+(** Test hook: inspect every packet about to be sent and decide its fate.
+    Runs before loss and partition checks. *)
+val set_fault_filter : t -> (Packet.t -> fault_action) option -> unit

@@ -1,0 +1,18 @@
+type dst = Unicast of int | Multicast
+
+type t = {
+  src : int;
+  dst : dst;
+  proto : string;
+  payload : Payload.t;
+  size : int;
+}
+
+let pp fmt t =
+  let dst =
+    match t.dst with
+    | Unicast node -> string_of_int node
+    | Multicast -> "*"
+  in
+  Format.fprintf fmt "%d->%s %s %s" t.src dst t.proto
+    (Payload.to_string t.payload)

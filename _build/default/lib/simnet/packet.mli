@@ -1,0 +1,13 @@
+(** Simulated network packets. *)
+
+type dst = Unicast of int | Multicast
+
+type t = {
+  src : int;  (** sending node id *)
+  dst : dst;
+  proto : string;  (** socket demultiplexing key, e.g. ["rpc"] *)
+  payload : Payload.t;
+  size : int;  (** bytes, for statistics only *)
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,18 @@
+type t = ..
+
+type t += Opaque of string
+
+let printers : (t -> string option) list ref = ref []
+
+let register_printer p = printers := !printers @ [ p ]
+
+let to_string payload =
+  match payload with
+  | Opaque s -> Printf.sprintf "opaque(%s)" s
+  | _ ->
+      let rec try_printers = function
+        | [] -> "<payload>"
+        | p :: rest -> (
+            match p payload with Some s -> s | None -> try_printers rest)
+      in
+      try_printers !printers

@@ -1,0 +1,18 @@
+(** Extensible packet payloads.
+
+    Each protocol layer (RPC, group communication, application services)
+    extends [t] with its own constructors, so one simulated network can
+    carry them all — the way FLIP multiplexed every Amoeba protocol over
+    one wire format. Receivers pattern-match on their own constructors
+    and ignore the rest. *)
+
+type t = ..
+
+(** Fallback constructor, mainly for tests. *)
+type t += Opaque of string
+
+(** Register a printer for trace output. Printers are tried in
+    registration order until one returns [Some]. *)
+val register_printer : (t -> string option) -> unit
+
+val to_string : t -> string

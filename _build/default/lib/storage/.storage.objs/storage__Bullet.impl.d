@@ -1,0 +1,1 @@
+lib/storage/bullet.ml: Array Block_device Buffer Bytes Capability Codec Format Hashtbl Int64 List Printf Rpc Sim Simnet String

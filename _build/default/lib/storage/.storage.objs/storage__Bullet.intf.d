@@ -1,0 +1,1 @@
+lib/storage/bullet.mli: Block_device Capability Rpc Sim Simnet

@@ -1,0 +1,1 @@
+lib/storage/cap_codec.ml: Capability Codec

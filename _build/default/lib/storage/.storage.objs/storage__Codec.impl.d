@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Buffer Bytes Char Int64 List Printf String

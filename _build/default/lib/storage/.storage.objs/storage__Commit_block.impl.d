@@ -1,0 +1,1 @@
+lib/storage/commit_block.ml: Array Block_device Bytes Codec Format String

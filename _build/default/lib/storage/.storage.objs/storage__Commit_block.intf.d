@@ -1,0 +1,1 @@
+lib/storage/commit_block.mli: Block_device Format

@@ -1,0 +1,1 @@
+lib/storage/nvram.ml: List Sim

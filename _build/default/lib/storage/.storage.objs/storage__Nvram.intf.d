@@ -1,0 +1,1 @@
+lib/storage/nvram.mli:

@@ -1,0 +1,1 @@
+lib/storage/object_table.ml: Block_device Bytes Cap_codec Capability Codec List Printf

@@ -1,0 +1,1 @@
+lib/storage/object_table.mli: Block_device Capability

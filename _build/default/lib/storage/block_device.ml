@@ -1,0 +1,85 @@
+type t = {
+  engine : Sim.Engine.t;
+  metrics : Sim.Metrics.t option;
+  name : string;
+  blocks : int;
+  block_size : int;
+  read_ms : float;
+  write_ms : float;
+  data : bytes array;
+  mutable busy_until : float;
+  mutable writes_completed : int;
+  mutable reads_completed : int;
+}
+
+let create engine ?metrics ?(name = "disk") ~blocks ~block_size ~read_ms
+    ~write_ms () =
+  if blocks <= 0 || block_size <= 0 then
+    invalid_arg "Block_device.create: bad geometry";
+  {
+    engine;
+    metrics;
+    name;
+    blocks;
+    block_size;
+    read_ms;
+    write_ms;
+    data = Array.init blocks (fun _ -> Bytes.create 0);
+    busy_until = 0.0;
+    writes_completed = 0;
+    reads_completed = 0;
+  }
+
+let name t = t.name
+
+let blocks t = t.blocks
+
+let block_size t = t.block_size
+
+let read_ms t = t.read_ms
+
+let write_ms t = t.write_ms
+
+let check_index t i =
+  if i < 0 || i >= t.blocks then
+    invalid_arg (Printf.sprintf "%s: block %d out of range" t.name i)
+
+(* Queue an operation behind the disk arm. [action] runs at completion
+   time whether or not the issuing fiber is still alive. *)
+let submit t ~latency action =
+  let now = Sim.Engine.now t.engine in
+  let start = max now t.busy_until in
+  let finish = start +. latency in
+  t.busy_until <- finish;
+  Sim.Proc.suspend (fun waker ->
+      Sim.Engine.schedule t.engine ~delay:(finish -. now) (fun () ->
+          let v = action () in
+          ignore (Sim.Proc.Waker.wake waker v)))
+
+let count t key =
+  match t.metrics with None -> () | Some m -> Sim.Metrics.incr m key
+
+let read t i =
+  check_index t i;
+  count t "disk.read";
+  submit t ~latency:t.read_ms (fun () ->
+      t.reads_completed <- t.reads_completed + 1;
+      Bytes.copy t.data.(i))
+
+let write t i data =
+  check_index t i;
+  if Bytes.length data > t.block_size then
+    invalid_arg (Printf.sprintf "%s: write exceeds block size" t.name);
+  count t "disk.write";
+  let committed = Bytes.copy data in
+  submit t ~latency:t.write_ms (fun () ->
+      t.writes_completed <- t.writes_completed + 1;
+      t.data.(i) <- committed)
+
+let peek t i =
+  check_index t i;
+  Bytes.copy t.data.(i)
+
+let writes_completed t = t.writes_completed
+
+let reads_completed t = t.reads_completed

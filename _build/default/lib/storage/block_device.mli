@@ -1,0 +1,53 @@
+(** Simulated block device (one Wren-IV-class disk per server machine).
+
+    The device serialises operations like a single disk arm: each request
+    completes [read_ms]/[write_ms] after the previous one finishes. The
+    contents are {e persistent}: the device object outlives node crashes,
+    so a restarted server recovers from what was actually written —
+    including the case where the issuing fiber died while the write was
+    in flight (the controller still completes it, like a real disk).
+
+    Writes are atomic per block, which is the paper's implicit assumption
+    for the commit block. *)
+
+type t
+
+val create :
+  Sim.Engine.t ->
+  ?metrics:Sim.Metrics.t ->
+  ?name:string ->
+  blocks:int ->
+  block_size:int ->
+  read_ms:float ->
+  write_ms:float ->
+  unit ->
+  t
+
+val name : t -> string
+
+val blocks : t -> int
+
+val block_size : t -> int
+
+val read_ms : t -> float
+
+val write_ms : t -> float
+
+(** [read t i] blocks the calling fiber for the disk latency and returns
+    a copy of block [i]. *)
+val read : t -> int -> bytes
+
+(** [write t i data] pads or rejects [data] against the block size and
+    commits it atomically. Raises [Invalid_argument] if [data] exceeds
+    the block size or [i] is out of range. *)
+val write : t -> int -> bytes -> unit
+
+(** Instant, latency-free read used only at boot-time recovery scans
+    (the paper never charges recovery I/O against operation latency). *)
+val peek : t -> int -> bytes
+
+(** Number of completed write operations (for the disk-ops-per-update
+    analysis). *)
+val writes_completed : t -> int
+
+val reads_completed : t -> int

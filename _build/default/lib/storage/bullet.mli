@@ -1,0 +1,68 @@
+(** The Bullet file server: immutable whole files, kept in core, committed
+    to disk on creation (van Renesse et al., "The Design of a
+    High-Performance File Server").
+
+    Properties that matter for the directory service built on top:
+
+    {ul
+    {- files are {e immutable}: an update to a directory writes a new
+       Bullet file and retires the old one;}
+    {- [create] returns only after the file is committed to disk. Small
+       files (a typical directory) are {e immediate}: the data lives in
+       the inode slot, so creation costs exactly one disk write — which
+       is what makes a group-service update cost two disk operations in
+       the paper's §3.1 analysis;}
+    {- reads are served from core (no disk I/O), like the paper's cached
+       directory lookups;}
+    {- deletion retires the file in core immediately; inode tombstones
+       are flushed lazily in batches (several inode slots share a block),
+       keeping retirement off the update critical path;}
+    {- a restarted server recovers its files by scanning the inode
+       region, so only un-committed creations are lost in a crash.}}
+
+    The server answers over RPC on [port_of node_id]. *)
+
+exception Error of string
+
+type t
+
+(** Rights bits in file capabilities. *)
+
+val right_read : Capability.rights
+
+val right_destroy : Capability.rights
+
+val port_of : int -> string
+
+(** [start net transport ~device ~first_block ~region_blocks ()] boots a
+    Bullet server on [transport]'s node, owning device blocks
+    [first_block, first_block + region_blocks). Performs the boot-time
+    recovery scan. [cpu] (with [cpu_ms] per request) models request
+    processing cost. *)
+val start :
+  Simnet.Network.t ->
+  Rpc.Transport.t ->
+  device:Block_device.t ->
+  first_block:int ->
+  region_blocks:int ->
+  ?inode_blocks:int ->
+  ?cpu:Sim.Resource.t ->
+  ?cpu_ms:float ->
+  ?flush_interval:float ->
+  unit ->
+  t
+
+(** Live (non-retired) file count. *)
+val live_files : t -> int
+
+(** Tombstones not yet flushed to disk. *)
+val pending_tombstones : t -> int
+
+(** Client operations (run from any fiber with an RPC transport). All
+    raise {!Error} on service-reported failure. *)
+
+val create : Rpc.Transport.t -> port:string -> string -> Capability.t
+
+val read : Rpc.Transport.t -> port:string -> Capability.t -> string
+
+val delete : Rpc.Transport.t -> port:string -> Capability.t -> unit

@@ -1,0 +1,12 @@
+let write w (cap : Capability.t) =
+  Codec.Writer.string w cap.port;
+  Codec.Writer.u32 w cap.obj;
+  Codec.Writer.u32 w cap.rights;
+  Codec.Writer.i64 w cap.check
+
+let read r : Capability.t =
+  let port = Codec.Reader.string r in
+  let obj = Codec.Reader.u32 r in
+  let rights = Codec.Reader.u32 r in
+  let check = Codec.Reader.i64 r in
+  { port; obj; rights; check }

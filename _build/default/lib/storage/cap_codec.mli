@@ -1,0 +1,6 @@
+(** Binary codec for capabilities (shared by the object table and the
+    Bullet server's inodes). *)
+
+val write : Codec.Writer.t -> Capability.t -> unit
+
+val read : Codec.Reader.t -> Capability.t

@@ -1,0 +1,91 @@
+exception Corrupt of string
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 128
+
+  let u8 t v =
+    if v < 0 || v > 0xFF then invalid_arg "Codec.u8: out of range";
+    Buffer.add_char t (Char.chr v)
+
+  let u32 t v =
+    if v < 0 || v > 0xFFFFFFFF then invalid_arg "Codec.u32: out of range";
+    for i = 0 to 3 do
+      Buffer.add_char t (Char.chr ((v lsr (8 * i)) land 0xFF))
+    done
+
+  let i64 t v =
+    for i = 0 to 7 do
+      Buffer.add_char t
+        (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+    done
+
+  let bool t v = u8 t (if v then 1 else 0)
+
+  let string t s =
+    u32 t (String.length s);
+    Buffer.add_string t s
+
+  let list t f xs =
+    u32 t (List.length xs);
+    List.iter (f t) xs
+
+  let contents t = Buffer.to_bytes t
+end
+
+module Reader = struct
+  type t = { data : bytes; mutable pos : int }
+
+  let of_bytes data = { data; pos = 0 }
+
+  let need t n =
+    if t.pos + n > Bytes.length t.data then raise (Corrupt "truncated input")
+
+  let u8 t =
+    need t 1;
+    let v = Char.code (Bytes.get t.data t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u32 t =
+    need t 4;
+    let v = ref 0 in
+    for i = 0 to 3 do
+      v := !v lor (Char.code (Bytes.get t.data (t.pos + i)) lsl (8 * i))
+    done;
+    t.pos <- t.pos + 4;
+    !v
+
+  let i64 t =
+    need t 8;
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v :=
+        Int64.logor !v
+          (Int64.shift_left
+             (Int64.of_int (Char.code (Bytes.get t.data (t.pos + i))))
+             (8 * i))
+    done;
+    t.pos <- t.pos + 8;
+    !v
+
+  let bool t =
+    match u8 t with
+    | 0 -> false
+    | 1 -> true
+    | n -> raise (Corrupt (Printf.sprintf "bad bool %d" n))
+
+  let string t =
+    let len = u32 t in
+    need t len;
+    let s = Bytes.sub_string t.data t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  let list t f =
+    let n = u32 t in
+    List.init n (fun _ -> f t)
+
+  let remaining t = Bytes.length t.data - t.pos
+end

@@ -1,0 +1,40 @@
+type t = { config_vector : bool array; seqno : int; recovering : bool }
+
+let magic = 0xC0B10C
+
+let make ~servers =
+  { config_vector = Array.make servers true; seqno = 0; recovering = false }
+
+let encode t =
+  let w = Codec.Writer.create () in
+  Codec.Writer.u32 w magic;
+  Codec.Writer.u32 w (Array.length t.config_vector);
+  Array.iter (Codec.Writer.bool w) t.config_vector;
+  Codec.Writer.u32 w t.seqno;
+  Codec.Writer.bool w t.recovering;
+  Codec.Writer.contents w
+
+let decode data =
+  if Bytes.length data = 0 then None
+  else begin
+    let r = Codec.Reader.of_bytes data in
+    let m = Codec.Reader.u32 r in
+    if m <> magic then raise (Codec.Corrupt "commit block: bad magic");
+    let n = Codec.Reader.u32 r in
+    let config_vector = Array.init n (fun _ -> Codec.Reader.bool r) in
+    let seqno = Codec.Reader.u32 r in
+    let recovering = Codec.Reader.bool r in
+    Some { config_vector; seqno; recovering }
+  end
+
+let read device = decode (Block_device.read device 0)
+
+let write device t = Block_device.write device 0 (encode t)
+
+let pp fmt t =
+  let vector =
+    String.concat ""
+      (Array.to_list (Array.map (fun b -> if b then "1" else "0") t.config_vector))
+  in
+  Format.fprintf fmt "[%s] seq=%d%s" vector t.seqno
+    (if t.recovering then " recovering" else "")

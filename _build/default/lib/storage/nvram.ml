@@ -1,0 +1,47 @@
+type 'a t = {
+  capacity : int;
+  size_of : 'a -> int;
+  write_ms : float;
+  mutable records : 'a list; (* newest first *)
+  mutable used : int;
+}
+
+let create ~capacity ~size_of ~write_ms () =
+  if capacity <= 0 then invalid_arg "Nvram.create: capacity must be positive";
+  { capacity; size_of; write_ms; records = []; used = 0 }
+
+let capacity t = t.capacity
+
+let used_bytes t = t.used
+
+let length t = List.length t.records
+
+let fill_ratio t = float_of_int t.used /. float_of_int t.capacity
+
+let append t r =
+  let size = t.size_of r in
+  if t.used + size > t.capacity then false
+  else begin
+    Sim.Proc.sleep t.write_ms;
+    t.records <- r :: t.records;
+    t.used <- t.used + size;
+    true
+  end
+
+let remove_if t pred =
+  let removed, kept = List.partition pred t.records in
+  if removed = [] then []
+  else begin
+    Sim.Proc.sleep t.write_ms;
+    t.records <- kept;
+    t.used <- t.used - List.fold_left (fun acc r -> acc + t.size_of r) 0 removed;
+    List.rev removed
+  end
+
+let take_all t =
+  let all = List.rev t.records in
+  t.records <- [];
+  t.used <- 0;
+  all
+
+let peek_all t = List.rev t.records

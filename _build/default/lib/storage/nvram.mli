@@ -1,0 +1,41 @@
+(** Simulated battery-backed NVRAM (the paper's 24 KB board).
+
+    NVRAM is a {e reliable} medium: its contents survive node crashes
+    (keep the [t] and hand it to the restarted server), so logging a
+    modification here provides the same fault tolerance as a disk write
+    at a fraction of the latency. A server logs directory modifications
+    into NVRAM on the critical path and applies them to disk lazily; the
+    annihilation of an append by a matching delete (the /tmp effect:
+    both records vanish without any disk I/O) is supported via
+    {!remove_if}. *)
+
+type 'a t
+
+(** [create ~capacity ~size_of ~write_ms ()] — [size_of] measures each
+    record's footprint against [capacity] bytes. *)
+val create : capacity:int -> size_of:('a -> int) -> write_ms:float -> unit -> 'a t
+
+val capacity : 'a t -> int
+
+val used_bytes : 'a t -> int
+
+val length : 'a t -> int
+
+(** Fraction of capacity in use, 0..1. *)
+val fill_ratio : 'a t -> float
+
+(** [append t r] logs a record, blocking for the NVRAM write latency.
+    Returns [false] (and logs nothing) when the record does not fit —
+    the caller must flush first. *)
+val append : 'a t -> 'a -> bool
+
+(** [remove_if t pred] removes all matching records {e without} any
+    latency beyond a single NVRAM write; returns them oldest-first. *)
+val remove_if : 'a t -> ('a -> bool) -> 'a list
+
+(** [take_all t] atomically drains the log, oldest-first (used by the
+    background flusher). *)
+val take_all : 'a t -> 'a list
+
+(** Oldest-first view without removing anything (crash recovery replay). *)
+val peek_all : 'a t -> 'a list

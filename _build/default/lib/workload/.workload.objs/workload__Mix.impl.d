@@ -1,0 +1,1 @@
+lib/workload/mix.ml: Dirsvc Printf Rpc Sim

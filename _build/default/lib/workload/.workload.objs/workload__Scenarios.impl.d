@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Bytes Dirsvc List Printf Rpc Sim Stats Storage

@@ -1,0 +1,1 @@
+lib/workload/tables.ml: List Printf String

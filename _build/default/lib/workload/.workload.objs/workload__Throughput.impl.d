@@ -1,0 +1,1 @@
+lib/workload/throughput.ml: Capability Dirsvc Hashtbl List Printf Rpc Sim

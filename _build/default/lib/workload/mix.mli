@@ -1,0 +1,24 @@
+(** The paper's measured production workload (§2): "Measurements over
+    three weeks showed that 98% of all directory operations are reads."
+    This harness drives that mix — mostly lookups and listings with an
+    occasional update — and reports the aggregate rates, which is what
+    the read-optimised design is for. *)
+
+type point = {
+  clients : int;
+  ops_per_second : float;
+  reads_per_second : float;
+  writes_per_second : float;
+  errors : int;
+}
+
+(** [run cluster ~clients ~read_fraction] drives [clients] closed-loop
+    clients; each op is a read with probability [read_fraction]
+    (default 0.98). *)
+val run :
+  ?warmup:float ->
+  ?window:float ->
+  ?read_fraction:float ->
+  Dirsvc.Cluster.t ->
+  clients:int ->
+  point

@@ -1,0 +1,51 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | samples ->
+      List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | samples ->
+      let m = mean samples in
+      let sum_sq =
+        List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 samples
+      in
+      sqrt (sum_sq /. float_of_int (List.length samples - 1))
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | samples ->
+      let sorted = List.sort compare samples in
+      let n = List.length sorted in
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1
+      in
+      List.nth sorted (max 0 (min (n - 1) rank))
+
+let summarise samples =
+  match samples with
+  | [] -> invalid_arg "Stats.summarise: empty"
+  | _ ->
+      {
+        n = List.length samples;
+        mean = mean samples;
+        stddev = stddev samples;
+        min = List.fold_left min infinity samples;
+        max = List.fold_left max neg_infinity samples;
+        p50 = percentile 50.0 samples;
+        p95 = percentile 95.0 samples;
+      }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f"
+    s.n s.mean s.stddev s.min s.p50 s.p95 s.max

@@ -1,0 +1,23 @@
+(** Small statistics helpers for the experiment harnesses. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+(** Raises [Invalid_argument] on the empty list. *)
+val summarise : float list -> summary
+
+val mean : float list -> float
+
+val stddev : float list -> float
+
+(** [percentile p samples] with [p] in 0..100 (nearest-rank). *)
+val percentile : float -> float list -> float
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,49 @@
+let render ~header rows =
+  let all = header :: rows in
+  let columns = List.length header in
+  let width i =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row i with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init columns width in
+  let pad align text width =
+    let padding = String.make (max 0 (width - String.length text)) ' ' in
+    match align with `Left -> text ^ padding | `Right -> padding ^ text
+  in
+  let render_row row =
+    List.mapi
+      (fun i cell ->
+        let align = if i = 0 then `Left else `Right in
+        pad align cell (List.nth widths i))
+      row
+    |> String.concat "  "
+  in
+  let rule =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n"
+    ((render_row header :: rule :: List.map render_row rows) @ [ "" ])
+
+let series ~title ~x_label ~y_label points =
+  let max_value =
+    List.fold_left (fun acc (_, v) -> max acc v) 1.0 points
+  in
+  let bar v =
+    let len = int_of_float (v /. max_value *. 50.0) in
+    String.make (max 0 len) '#'
+  in
+  let lines =
+    List.map
+      (fun (x, v) -> Printf.sprintf "%4d | %-50s %8.1f" x (bar v) v)
+      points
+  in
+  String.concat "\n"
+    ((Printf.sprintf "%s" title
+     :: Printf.sprintf "%s vs %s" y_label x_label
+     :: lines)
+    @ [ "" ])

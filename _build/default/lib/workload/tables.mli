@@ -1,0 +1,15 @@
+(** Plain-text rendering of the paper's tables and figures. *)
+
+(** [render ~header rows] — a fixed-width table; the first column is
+    left-aligned, the rest right-aligned. *)
+val render : header:string list -> string list list -> string
+
+(** [series ~title ~x_label ~y_label points] — an ASCII rendition of a
+    throughput curve (one row per x with a proportional bar), like
+    Figs. 8 and 9. *)
+val series :
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  (int * float) list ->
+  string

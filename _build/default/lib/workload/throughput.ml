@@ -1,0 +1,127 @@
+type point = { clients : int; per_second : float; errors : int }
+
+let ensure_serving cluster =
+  match Dirsvc.Cluster.flavor cluster with
+  | Dirsvc.Cluster.Group_disk | Dirsvc.Cluster.Group_nvram ->
+      ignore
+        (Dirsvc.Cluster.await_serving cluster
+           ~count:(Dirsvc.Cluster.n_servers cluster))
+  | Dirsvc.Cluster.Rpc_pair | Dirsvc.Cluster.Nfs_single ->
+      Dirsvc.Cluster.run_until cluster
+        (Sim.Engine.now (Dirsvc.Cluster.engine cluster) +. 100.0)
+
+(* Launch one closed-loop client fiber running [loop_body] repeatedly.
+   The fiber first performs one un-counted setup iteration (creating its
+   directory, warming its port cache), then waits at [gate] for every
+   client to be ready; only then does the measurement window open — so a
+   slow setup under contention cannot eat into the window. *)
+let closed_loop cluster ~gate ~arrived ~clients ~warmup ~window ~completed
+    ~errors loop_body =
+  let client = Dirsvc.Cluster.client cluster in
+  let node = Rpc.Transport.node (Dirsvc.Client.transport client) in
+  Sim.Proc.boot (Dirsvc.Cluster.engine cluster) node ~name:"load-client"
+    (fun () ->
+      (match loop_body client with
+      | () -> ()
+      | exception _ -> incr errors);
+      incr arrived;
+      if !arrived = clients then begin
+        let now = Sim.Proc.now () in
+        Sim.Ivar.fill gate (now +. warmup, now +. warmup +. window)
+      end;
+      let t_start, t_stop = Sim.Ivar.read gate in
+      while Sim.Proc.now () < t_stop do
+        match loop_body client with
+        | () -> if Sim.Proc.now () >= t_start then incr completed
+        | exception _ ->
+            incr errors;
+            Sim.Proc.sleep 5.0
+      done)
+
+let run_window cluster ~warmup ~window ~clients ~setup ~op =
+  ensure_serving cluster;
+  let engine = Dirsvc.Cluster.engine cluster in
+  (* Shared setup runs (and advances the clock) first. *)
+  let shared = setup cluster in
+  let completed = ref 0 and errors = ref 0 in
+  let gate = Sim.Ivar.create () in
+  let arrived = ref 0 in
+  for i = 1 to clients do
+    closed_loop cluster ~gate ~arrived ~clients ~warmup ~window ~completed
+      ~errors (op shared i)
+  done;
+  (* Drive the clock until the window (whose bounds the clients pick once
+     all are ready) has fully elapsed. *)
+  let rec drive guard =
+    if guard = 0 then failwith "Throughput.run_window: clients never ready";
+    match Sim.Ivar.peek gate with
+    | Some (_, t_stop) -> Dirsvc.Cluster.run_until cluster (t_stop +. 500.0)
+    | None ->
+        Dirsvc.Cluster.run_until cluster
+          (Sim.Engine.now engine +. 1_000.0);
+        drive (guard - 1)
+  in
+  drive 120;
+  {
+    clients;
+    per_second = float_of_int !completed /. (window /. 1000.0);
+    errors = !errors;
+  }
+
+(* Run [f] on a fresh client fiber and wait for it. *)
+let run_setup cluster f =
+  let client = Dirsvc.Cluster.client cluster in
+  let node = Rpc.Transport.node (Dirsvc.Client.transport client) in
+  let result = ref None in
+  Sim.Proc.boot (Dirsvc.Cluster.engine cluster) node ~name:"setup" (fun () ->
+      result := Some (f client));
+  let engine = Dirsvc.Cluster.engine cluster in
+  let rec wait guard =
+    if guard = 0 then failwith "Throughput: setup never finished"
+    else begin
+      Sim.Engine.run ~until:(Sim.Engine.now engine +. 1_000.0) engine;
+      match !result with Some v -> v | None -> wait (guard - 1)
+    end
+  in
+  wait 100
+
+let lookups ?(warmup = 300.0) ?(window = 2_000.0) cluster ~clients =
+  let setup cluster =
+    run_setup cluster (fun client ->
+        let cap = Dirsvc.Client.create_dir client ~columns:[ "owner" ] in
+        Dirsvc.Client.append_row client cap ~name:"target" [ cap ];
+        cap)
+  in
+  let op cap _i client =
+    match Dirsvc.Client.lookup client cap "target" with
+    | Some _ | None -> ()
+  in
+  run_window cluster ~warmup ~window ~clients ~setup ~op
+
+let caps_table : (int, Capability.t) Hashtbl.t = Hashtbl.create 16
+
+let append_deletes ?(warmup = 500.0) ?(window = 4_000.0) cluster ~clients =
+  let setup _cluster = () in
+  let op () i client =
+    (* Per-client directory: create lazily on first use. *)
+    let cap =
+      match Hashtbl.find_opt caps_table i with
+      | Some cap -> cap
+      | None ->
+          let cap = Dirsvc.Client.create_dir client ~columns:[ "owner" ] in
+          Hashtbl.replace caps_table i cap;
+          cap
+    in
+    let name = Printf.sprintf "t%d" i in
+    Dirsvc.Client.append_row client cap ~name [ cap ];
+    Dirsvc.Client.delete_row client cap ~name
+  in
+  Hashtbl.reset caps_table;
+  run_window cluster ~warmup ~window ~clients ~setup ~op
+
+let sweep make_cluster measure points =
+  List.map
+    (fun clients ->
+      let cluster = make_cluster () in
+      measure cluster ~clients)
+    points

@@ -1,0 +1,34 @@
+(** Closed-loop multi-client throughput (paper §4.2, Figs. 8 and 9).
+
+    [clients] client machines each issue one operation at a time,
+    back-to-back. After a warm-up window, completions are counted over
+    the measurement window. Server selection happens through the RPC
+    locate / port-cache / NOTHERE mechanism, so — exactly as in the
+    paper — the load is {e not} evenly balanced and throughput lands
+    below the analytic upper bound, with sizeable run-to-run variance. *)
+
+type point = {
+  clients : int;
+  per_second : float;  (** lookups/s (Fig. 8) or pairs/s (Fig. 9) *)
+  errors : int;  (** refused / failed operations during measurement *)
+}
+
+(** [lookups cluster ~clients] — Fig. 8's workload: every client loops
+    name lookups on a shared directory. *)
+val lookups :
+  ?warmup:float -> ?window:float -> Dirsvc.Cluster.t -> clients:int -> point
+
+(** [append_deletes cluster ~clients] — Fig. 9's workload: every client
+    loops append+delete pairs on its own directory. The returned rate
+    counts {e pairs} (the paper notes actual write throughput is twice
+    that). *)
+val append_deletes :
+  ?warmup:float -> ?window:float -> Dirsvc.Cluster.t -> clients:int -> point
+
+(** [sweep make_cluster measure points] runs [measure] on a fresh
+    deployment per client count — like the paper's separate runs. *)
+val sweep :
+  (unit -> Dirsvc.Cluster.t) ->
+  (Dirsvc.Cluster.t -> clients:int -> point) ->
+  int list ->
+  point list

@@ -1,0 +1,1 @@
+test/harness.ml: Alcotest Sim Simnet

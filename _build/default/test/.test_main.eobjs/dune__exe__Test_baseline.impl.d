@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Bytes Capability Dirsvc Group Int64 List Printf Rpc Sim Simnet Storage

@@ -1,0 +1,1 @@
+test/test_capability.ml: Alcotest Capability Int64 QCheck QCheck_alcotest

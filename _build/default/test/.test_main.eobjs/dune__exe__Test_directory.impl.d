@@ -1,0 +1,1 @@
+test/test_directory.ml: Alcotest Capability Dirsvc Int64 List Printf QCheck QCheck_alcotest

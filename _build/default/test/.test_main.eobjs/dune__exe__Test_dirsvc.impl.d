@@ -1,0 +1,1 @@
+test/test_dirsvc.ml: Alcotest Array Dirsvc Gen Group Int64 List Printf QCheck QCheck_alcotest Rpc Sim Simnet Storage

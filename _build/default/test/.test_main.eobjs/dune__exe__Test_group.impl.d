@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Char Gen Group Harness Hashtbl Int64 List Printf QCheck QCheck_alcotest Sim Simnet String

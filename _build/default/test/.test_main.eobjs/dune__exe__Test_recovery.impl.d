@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Dirsvc Gen Group Int64 List Printf QCheck QCheck_alcotest Rpc Sim Simnet Storage

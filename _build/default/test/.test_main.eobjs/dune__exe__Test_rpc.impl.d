@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Harness List Printf Rpc Sim Simnet

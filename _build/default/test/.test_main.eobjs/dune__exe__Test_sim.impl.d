@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Buffer List Printf QCheck QCheck_alcotest Sim

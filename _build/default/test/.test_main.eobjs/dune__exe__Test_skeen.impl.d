@@ -1,0 +1,1 @@
+test/test_skeen.ml: Alcotest Dirsvc Format Gen List QCheck QCheck_alcotest String

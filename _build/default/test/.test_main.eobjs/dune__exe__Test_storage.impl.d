@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Capability Char Harness List QCheck QCheck_alcotest Rpc Sim Simnet Storage String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dirsvc Gen List QCheck QCheck_alcotest String Workload

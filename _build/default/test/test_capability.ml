@@ -1,0 +1,69 @@
+(* Tests for the Amoeba capability scheme. *)
+
+let secret = Capability.mint_secret 42L
+
+let owner = Capability.owner ~port:"svc" ~obj:7 secret
+
+let test_owner_validates () =
+  Alcotest.(check bool) "owner validates" true (Capability.validate owner secret);
+  Alcotest.(check bool) "owner has all rights" true
+    (Capability.has_rights owner ~need:Capability.all_rights)
+
+let test_restrict_validates () =
+  let restricted = Capability.restrict owner ~mask:0x3 in
+  Alcotest.(check int) "rights narrowed" 0x3 restricted.Capability.rights;
+  Alcotest.(check bool) "restricted validates" true
+    (Capability.validate restricted secret);
+  Alcotest.(check bool) "restricted lacks wide rights" false
+    (Capability.has_rights restricted ~need:0x4)
+
+let test_forgery_fails () =
+  let restricted = Capability.restrict owner ~mask:0x1 in
+  (* Widening the rights field without the secret must not validate. *)
+  let forged = { restricted with Capability.rights = Capability.all_rights } in
+  Alcotest.(check bool) "forged owner rejected" false
+    (Capability.validate forged secret);
+  let forged2 = { restricted with Capability.rights = 0x3 } in
+  Alcotest.(check bool) "forged wider mask rejected" false
+    (Capability.validate forged2 secret)
+
+let test_wrong_secret_fails () =
+  let other = Capability.mint_secret 43L in
+  Alcotest.(check bool) "wrong secret rejected" false
+    (Capability.validate owner other)
+
+let test_restrict_requires_owner () =
+  let restricted = Capability.restrict owner ~mask:0x3 in
+  Alcotest.check_raises "re-restricting raises"
+    (Invalid_argument "Capability.restrict: not an owner capability")
+    (fun () -> ignore (Capability.restrict restricted ~mask:0x1))
+
+let test_restriction_property =
+  QCheck.Test.make ~name:"any single restriction validates; any widening fails"
+    ~count:200
+    QCheck.(pair (int_bound 255) (int_bound 1000))
+    (fun (mask, salt) ->
+      let secret = Capability.mint_secret (Int64.of_int salt) in
+      let owner = Capability.owner ~port:"p" ~obj:salt secret in
+      let restricted = Capability.restrict owner ~mask in
+      let ok = Capability.validate restricted secret in
+      let widened =
+        if restricted.Capability.rights = Capability.all_rights then true
+        else
+          not
+            (Capability.validate
+               { restricted with Capability.rights = Capability.all_rights }
+               secret)
+      in
+      ok && widened)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    tc "owner validates" `Quick test_owner_validates;
+    tc "restrict validates" `Quick test_restrict_validates;
+    tc "forgery fails" `Quick test_forgery_fails;
+    tc "wrong secret fails" `Quick test_wrong_secret_fails;
+    tc "restrict requires owner" `Quick test_restrict_requires_owner;
+    QCheck_alcotest.to_alcotest test_restriction_property;
+  ]

@@ -1,0 +1,600 @@
+(* Tests for the totally-ordered group communication layer: ordering,
+   resilience, failure detection, ResetGroup, join/leave, partitions. *)
+
+open Harness
+
+type Simnet.Payload.t += Note of string
+
+let note_of = function
+  | Group.Types.Msg { payload = Note s; _ } -> Some s
+  | _ -> None
+
+(* A triplicated group: node 1 creates, nodes 2 and 3 join. Returns a
+   function to fetch member i's endpoint once the sim has started. *)
+let start_trio ?(config = Group.Types.default_config) w =
+  let members = Hashtbl.create 3 in
+  let nodes = Hashtbl.create 3 in
+  let start id =
+    let n = node ~id (Printf.sprintf "srv%d" id) in
+    Hashtbl.replace nodes id n;
+    let nic = Simnet.Network.attach w.net n in
+    Sim.Proc.boot w.engine n (fun () ->
+        let m =
+          if id = 1 then
+            Group.Member.create_group ~metrics:w.metrics ~config w.net nic
+              ~gname:"g"
+          else begin
+            Sim.Proc.sleep (2.0 +. float_of_int id);
+            Group.Member.join_group ~metrics:w.metrics ~config w.net nic
+              ~gname:"g"
+          end
+        in
+        Hashtbl.replace members id m)
+  in
+  List.iter start [ 1; 2; 3 ];
+  let get id =
+    match Hashtbl.find_opt members id with
+    | Some m -> m
+    | None -> Alcotest.failf "member %d not started" id
+  in
+  let node_of id = Hashtbl.find nodes id in
+  (get, node_of)
+
+let test_membership_convergence () =
+  let w = make_world ~seed:11L () in
+  let get, _ = start_trio w in
+  run_until w 100.0;
+  List.iter
+    (fun id ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "member %d sees full view" id)
+        [ 1; 2; 3 ]
+        (Group.Member.members (get id)))
+    [ 1; 2; 3 ]
+
+let test_total_order_concurrent_senders () =
+  let w = make_world ~seed:12L () in
+  let get, node_of = start_trio w in
+  let logs = Hashtbl.create 3 in
+  (* Every member records the app messages it delivers, in order. *)
+  at w ~delay:30.0 (fun () ->
+      List.iter
+        (fun id ->
+          let log = ref [] in
+          Hashtbl.replace logs id log;
+          Sim.Proc.boot w.engine (node_of id) (fun () ->
+              let m = get id in
+              try
+                while true do
+                  match Group.Member.receive ~timeout:500.0 m with
+                  | d -> (
+                      match note_of d with
+                      | Some s -> log := s :: !log
+                      | None -> ())
+                done
+              with Sim.Proc.Timeout | Group.Types.Group_failure _ -> ()))
+        [ 1; 2; 3 ]);
+  (* Concurrent senders on all three members. *)
+  at w ~delay:35.0 (fun () ->
+      List.iter
+        (fun id ->
+          Sim.Proc.boot w.engine (node_of id) (fun () ->
+              let m = get id in
+              for i = 1 to 10 do
+                Group.Member.send m (Note (Printf.sprintf "%d.%d" id i))
+              done))
+        [ 1; 2; 3 ]);
+  run_until w 1200.0;
+  let log_of id = List.rev !(Hashtbl.find logs id) in
+  let l1 = log_of 1 and l2 = log_of 2 and l3 = log_of 3 in
+  Alcotest.(check int) "all 30 messages delivered at 1" 30 (List.length l1);
+  Alcotest.(check (list string)) "2 sees the same order" l1 l2;
+  Alcotest.(check (list string)) "3 sees the same order" l1 l3;
+  (* Per-sender FIFO must also hold. *)
+  List.iter
+    (fun sender ->
+      let mine =
+        List.filter
+          (fun s ->
+            String.length s >= 2 && s.[0] = Char.chr (Char.code '0' + sender))
+          l1
+      in
+      let expected = List.init 10 (fun i -> Printf.sprintf "%d.%d" sender (i + 1)) in
+      Alcotest.(check (list string))
+        (Printf.sprintf "sender %d FIFO" sender)
+        expected mine)
+    [ 1; 2; 3 ]
+
+let test_send_returns_resilient () =
+  (* r = 2: once send returns, even two crashes leave the message
+     available at the survivor. *)
+  let w = make_world ~seed:13L () in
+  let get, node_of = start_trio w in
+  let survivor_log = ref [] in
+  at w ~delay:30.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 3) (fun () ->
+          let m = get 3 in
+          try
+            while true do
+              match note_of (Group.Member.receive ~timeout:2000.0 m) with
+              | Some s -> survivor_log := s :: !survivor_log
+              | None -> ()
+            done
+          with Sim.Proc.Timeout | Group.Types.Group_failure _ -> ()));
+  at w ~delay:35.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 2) (fun () ->
+          let m = get 2 in
+          Group.Member.send m (Note "precious");
+          (* SendToGroup returned: crash both other members instantly. *)
+          Sim.Node.crash (node_of 1);
+          Sim.Node.crash (node_of 2)));
+  run_until w 500.0;
+  Alcotest.(check (list string)) "survivor holds the message" [ "precious" ]
+    !survivor_log
+
+let test_buffered_visibility_after_send () =
+  (* The paper's read path: once a send returns (r=2), every member's
+     GetInfoGroup already shows the message as buffered. *)
+  let w = make_world ~seed:14L () in
+  let get, node_of = start_trio w in
+  let checked = ref 0 in
+  at w ~delay:30.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 1) (fun () ->
+          let m = get 1 in
+          let before = (Group.Member.info m).highest_seen in
+          Group.Member.send m (Note "w");
+          List.iter
+            (fun id ->
+              let info = Group.Member.info (get id) in
+              Alcotest.(check bool)
+                (Printf.sprintf "member %d has it buffered" id)
+                true
+                (info.highest_seen > before);
+              incr checked)
+            [ 1; 2; 3 ]));
+  run_until w 200.0;
+  Alcotest.(check int) "all three checked" 3 !checked
+
+let test_member_crash_detect_reset_continue () =
+  let w = make_world ~seed:15L () in
+  let get, node_of = start_trio w in
+  let events = ref [] in
+  let record fmt = Printf.ksprintf (fun s -> events := s :: !events) fmt in
+  (* Group threads that reset on failure, paper Fig. 5 style. *)
+  at w ~delay:30.0 (fun () ->
+      List.iter
+        (fun id ->
+          Sim.Proc.boot w.engine (node_of id) (fun () ->
+              let m = get id in
+              try
+                while true do
+                  match Group.Member.receive ~timeout:3000.0 m with
+                  | exception Group.Types.Group_failure _ ->
+                      let size = Group.Member.reset m in
+                      record "%d:reset->%d" id size
+                  | _ -> ()
+                done
+              with Sim.Proc.Timeout -> ()))
+        [ 1; 2 ]);
+  at w ~delay:60.0 (fun () -> Sim.Node.crash (node_of 3));
+  (* After recovery, member 2 can still send. *)
+  at w ~delay:400.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 2) (fun () ->
+          let m = get 2 in
+          Group.Member.send m (Note "post-recovery");
+          record "2:sent"));
+  run_until w 800.0;
+  let events = List.rev !events in
+  Alcotest.(check bool) "someone reset to a 2-member view" true
+    (List.exists (fun e -> e = "1:reset->2" || e = "2:reset->2") events);
+  Alcotest.(check bool) "send works after reset" true
+    (List.mem "2:sent" events);
+  Alcotest.(check (list int)) "view is {1,2}" [ 1; 2 ]
+    (Group.Member.members (get 1))
+
+let test_sequencer_crash_recovery () =
+  let w = make_world ~seed:16L () in
+  let get, node_of = start_trio w in
+  let delivered = ref [] in
+  at w ~delay:30.0 (fun () ->
+      List.iter
+        (fun id ->
+          Sim.Proc.boot w.engine (node_of id) (fun () ->
+              let m = get id in
+              try
+                while true do
+                  match Group.Member.receive ~timeout:3000.0 m with
+                  | exception Group.Types.Group_failure _ ->
+                      ignore (Group.Member.reset m)
+                  | d -> (
+                      match note_of d with
+                      | Some s when id = 2 -> delivered := s :: !delivered
+                      | _ -> ())
+                done
+              with Sim.Proc.Timeout -> ()))
+        [ 2; 3 ]);
+  (* Node 1 created the group, so it is the sequencer. Crash it. *)
+  at w ~delay:60.0 (fun () -> Sim.Node.crash (node_of 1));
+  at w ~delay:500.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 3) (fun () ->
+          Group.Member.send (get 3) (Note "after-seq-crash")));
+  run_until w 900.0;
+  Alcotest.(check (list string)) "message flows under the new sequencer"
+    [ "after-seq-crash" ] !delivered;
+  Alcotest.(check (list int)) "view is {2,3}" [ 2; 3 ]
+    (Group.Member.members (get 2))
+
+let test_partition_minority_majority () =
+  let w = make_world ~seed:17L () in
+  let get, node_of = start_trio w in
+  let sizes = Hashtbl.create 3 in
+  at w ~delay:30.0 (fun () ->
+      List.iter
+        (fun id ->
+          Sim.Proc.boot w.engine (node_of id) (fun () ->
+              let m = get id in
+              try
+                while true do
+                  match Group.Member.receive ~timeout:3000.0 m with
+                  | exception Group.Types.Group_failure _ ->
+                      Hashtbl.replace sizes id (Group.Member.reset m)
+                  | _ -> ()
+                done
+              with Sim.Proc.Timeout -> ()))
+        [ 1; 2; 3 ]);
+  at w ~delay:60.0 (fun () ->
+      Simnet.Network.set_partitions w.net [ [ 1; 2 ]; [ 3 ] ]);
+  run_until w 800.0;
+  Alcotest.(check (option int)) "majority side rebuilt with 2" (Some 2)
+    (Hashtbl.find_opt sizes 1);
+  Alcotest.(check (option int)) "minority side alone" (Some 1)
+    (Hashtbl.find_opt sizes 3)
+
+let test_loss_recovery_ordering () =
+  (* 20% packet loss: retransmissions must still deliver everything, in
+     order, everywhere. The failure detector is made loss-tolerant so the
+     test exercises retransmission rather than view changes. *)
+  let w = make_world ~seed:18L () in
+  let config =
+    {
+      Group.Types.default_config with
+      fail_timeout = 400.0;
+      send_retries = 8;
+    }
+  in
+  let get, node_of = start_trio ~config w in
+  let logs = Hashtbl.create 3 in
+  at w ~delay:30.0 (fun () -> Simnet.Network.set_loss w.net 0.2);
+  at w ~delay:30.0 (fun () ->
+      List.iter
+        (fun id ->
+          let log = ref [] in
+          Hashtbl.replace logs id log;
+          Sim.Proc.boot w.engine (node_of id) (fun () ->
+              let m = get id in
+              try
+                while true do
+                  match note_of (Group.Member.receive ~timeout:3000.0 m) with
+                  | Some s -> log := s :: !log
+                  | None -> ()
+                done
+              with Sim.Proc.Timeout | Group.Types.Group_failure _ -> ()))
+        [ 1; 2; 3 ]);
+  at w ~delay:35.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 2) (fun () ->
+          let m = get 2 in
+          for i = 1 to 30 do
+            try Group.Member.send m (Note (string_of_int i))
+            with Group.Types.Group_failure _ -> ()
+          done));
+  run_until w 4000.0;
+  let l1 = List.rev !(Hashtbl.find logs 1) in
+  Alcotest.(check (list string)) "all 30 delivered in order at member 1"
+    (List.init 30 (fun i -> string_of_int (i + 1)))
+    l1;
+  Alcotest.(check (list string)) "member 2 identical" l1
+    (List.rev !(Hashtbl.find logs 2));
+  Alcotest.(check (list string)) "member 3 identical" l1
+    (List.rev !(Hashtbl.find logs 3))
+
+let test_sequencer_graceful_leave () =
+  let w = make_world ~seed:19L () in
+  let get, node_of = start_trio w in
+  let delivered = ref [] in
+  at w ~delay:30.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 3) (fun () ->
+          let m = get 3 in
+          try
+            while true do
+              match note_of (Group.Member.receive ~timeout:3000.0 m) with
+              | Some s -> delivered := s :: !delivered
+              | None -> ()
+            done
+          with Sim.Proc.Timeout | Group.Types.Group_failure _ -> ()));
+  at w ~delay:40.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 1) (fun () ->
+          Group.Member.leave (get 1)));
+  at w ~delay:100.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 2) (fun () ->
+          Group.Member.send (get 2) (Note "under-new-sequencer")));
+  run_until w 600.0;
+  Alcotest.(check (list string)) "delivery continues" [ "under-new-sequencer" ]
+    !delivered;
+  Alcotest.(check (list int)) "view shrunk to {2,3}" [ 2; 3 ]
+    (Group.Member.members (get 2));
+  Alcotest.(check string) "leaver is out" "left"
+    (Group.Types.status_to_string (Group.Member.info (get 1)).status)
+
+let test_late_joiner_sees_suffix () =
+  let w = make_world ~seed:20L () in
+  let n1 = node ~id:1 "srv1" and n4 = node ~id:4 "late" in
+  let nic1 = Simnet.Network.attach w.net n1 in
+  let nic4 = Simnet.Network.attach w.net n4 in
+  let m1 = ref None and late_log = ref [] in
+  Sim.Proc.boot w.engine n1 (fun () ->
+      let m = Group.Member.create_group w.net nic1 ~gname:"g" in
+      m1 := Some m;
+      (* Messages sent before the join must not reach the late joiner. *)
+      Group.Member.send m (Note "early-1");
+      Group.Member.send m (Note "early-2"));
+  at w ~delay:50.0 (fun () ->
+      Sim.Proc.boot w.engine n4 (fun () ->
+          let m = Group.Member.join_group w.net nic4 ~gname:"g" in
+          Sim.Proc.spawn (fun () ->
+              try
+                while true do
+                  match note_of (Group.Member.receive ~timeout:3000.0 m) with
+                  | Some s -> late_log := s :: !late_log
+                  | None -> ()
+                done
+              with Sim.Proc.Timeout | Group.Types.Group_failure _ -> ())));
+  at w ~delay:100.0 (fun () ->
+      Sim.Proc.boot w.engine n1 (fun () ->
+          match !m1 with
+          | Some m -> Group.Member.send m (Note "late-1")
+          | None -> ()));
+  run_until w 500.0;
+  Alcotest.(check (list string)) "only post-join traffic" [ "late-1" ]
+    (List.rev !late_log)
+
+let test_send_message_cost () =
+  (* SendToGroup with r = 2 in a trio, origin != sequencer:
+     1 request + 1 multicast + 2 acks + 1 done = 5 messages (paper §3.1). *)
+  let w = make_world ~seed:21L () in
+  let quiet_config =
+    { Group.Types.default_config with heartbeat_period = 10_000.0 }
+  in
+  let get, node_of = start_trio ~config:quiet_config w in
+  let counted = ref [] in
+  at w ~delay:30.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 2) (fun () ->
+          (* Warm-up send so everything is steady. *)
+          Group.Member.send (get 2) (Note "warm");
+          Sim.Proc.sleep 20.0;
+          let before = Sim.Metrics.counters w.metrics in
+          Group.Member.send (get 2) (Note "counted");
+          Sim.Proc.sleep 20.0;
+          let after = Sim.Metrics.counters w.metrics in
+          counted := Sim.Metrics.delta ~before ~after));
+  run_until w 300.0;
+  let total = match List.assoc_opt "net.pkt" !counted with Some n -> n | None -> 0 in
+  Alcotest.(check int) "5 messages per resilient send" 5 total;
+  Alcotest.(check (option int)) "one data multicast" (Some 1)
+    (List.assoc_opt "grp.data" !counted);
+  Alcotest.(check (option int)) "two acks" (Some 2)
+    (List.assoc_opt "grp.ack" !counted)
+
+let test_total_order_property =
+  (* Random senders/counts: every member delivers the identical log. *)
+  QCheck.Test.make ~name:"random traffic keeps identical total order"
+    ~count:15
+    QCheck.(pair (int_bound 1023) (list_of_size Gen.(1 -- 12) (int_bound 2)))
+    (fun (seed, plan) ->
+      QCheck.assume (plan <> []);
+      let w = make_world ~seed:(Int64.of_int (seed + 1)) () in
+      let get, node_of = start_trio w in
+      let logs = Hashtbl.create 3 in
+      at w ~delay:30.0 (fun () ->
+          List.iter
+            (fun id ->
+              let log = ref [] in
+              Hashtbl.replace logs id log;
+              Sim.Proc.boot w.engine (node_of id) (fun () ->
+                  let m = get id in
+                  try
+                    while true do
+                      match note_of (Group.Member.receive ~timeout:3000.0 m) with
+                      | Some s -> log := s :: !log
+                      | None -> ()
+                    done
+                  with Sim.Proc.Timeout | Group.Types.Group_failure _ -> ()))
+            [ 1; 2; 3 ]);
+      at w ~delay:35.0 (fun () ->
+          List.iteri
+            (fun i sender_idx ->
+              let sender = sender_idx + 1 in
+              Sim.Proc.boot w.engine (node_of sender) (fun () ->
+                  Sim.Proc.sleep (float_of_int i);
+                  Group.Member.send (get sender)
+                    (Note (Printf.sprintf "%d:%d" sender i))))
+            plan);
+      run_until w 3000.0;
+      let l id = List.rev !(Hashtbl.find logs id) in
+      let l1 = l 1 in
+      List.length l1 = List.length plan && l 2 = l1 && l 3 = l1)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    tc "membership convergence" `Quick test_membership_convergence;
+    tc "total order, concurrent senders" `Quick
+      test_total_order_concurrent_senders;
+    tc "send returns only when resilient" `Quick test_send_returns_resilient;
+    tc "buffered visibility after send" `Quick
+      test_buffered_visibility_after_send;
+    tc "member crash -> reset -> continue" `Quick
+      test_member_crash_detect_reset_continue;
+    tc "sequencer crash recovery" `Quick test_sequencer_crash_recovery;
+    tc "partition: minority vs majority" `Quick
+      test_partition_minority_majority;
+    tc "loss recovery keeps ordering" `Quick test_loss_recovery_ordering;
+    tc "sequencer graceful leave" `Quick test_sequencer_graceful_leave;
+    tc "late joiner sees only suffix" `Quick test_late_joiner_sees_suffix;
+    tc "5 messages per send (r=2, trio)" `Quick test_send_message_cost;
+    QCheck_alcotest.to_alcotest test_total_order_property;
+  ]
+
+(* Appended: regression tests for member reincarnation on one node. *)
+
+let test_leave_then_rejoin_same_node () =
+  (* Regression: the new member used to share the old member's socket,
+     whose dead fiber stole packets (e.g. another node's join request).
+     After leave + re-join on the same node, traffic must flow. *)
+  let w = make_world ~seed:44L () in
+  let get, node_of = start_trio w in
+  let delivered = ref [] in
+  let m2' = ref None in
+  at w ~delay:40.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 2) (fun () ->
+          Group.Member.leave (get 2);
+          Sim.Proc.sleep 20.0;
+          let nic =
+            (* the node's NIC is shared; re-joining reuses it *)
+            Simnet.Network.attach w.net (node_of 2)
+          in
+          let m = Group.Member.join_group w.net nic ~gname:"g" in
+          m2' := Some m;
+          try
+            while true do
+              match note_of (Group.Member.receive ~timeout:2000.0 m) with
+              | Some s -> delivered := s :: !delivered
+              | None -> ()
+            done
+          with Sim.Proc.Timeout | Group.Types.Group_failure _ -> ()));
+  at w ~delay:200.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 1) (fun () ->
+          Group.Member.send (get 1) (Note "after-rejoin")));
+  run_until w 800.0;
+  Alcotest.(check (list string)) "rejoined member receives" [ "after-rejoin" ]
+    !delivered;
+  match !m2' with
+  | Some m ->
+      Alcotest.(check (list int)) "full view restored" [ 1; 2; 3 ]
+        (Group.Member.members m)
+  | None -> Alcotest.fail "re-join never completed"
+
+let test_rejoin_gets_fresh_base () =
+  (* Regression: a re-joining member must be admitted at the current
+     position, not handed a stale (deduplicated) grant from its earlier
+     life — otherwise it replays history. *)
+  let w = make_world ~seed:45L () in
+  let get, node_of = start_trio w in
+  let seen = ref [] in
+  at w ~delay:40.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 1) (fun () ->
+          Group.Member.send (get 1) (Note "old-1");
+          Group.Member.send (get 1) (Note "old-2")));
+  at w ~delay:80.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 3) (fun () ->
+          Group.Member.leave (get 3);
+          Sim.Proc.sleep 30.0;
+          let nic = Simnet.Network.attach w.net (node_of 3) in
+          let m = Group.Member.join_group w.net nic ~gname:"g" in
+          try
+            while true do
+              match note_of (Group.Member.receive ~timeout:2000.0 m) with
+              | Some s -> seen := s :: !seen
+              | None -> ()
+            done
+          with Sim.Proc.Timeout | Group.Types.Group_failure _ -> ()));
+  at w ~delay:300.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 1) (fun () ->
+          Group.Member.send (get 1) (Note "new-1")));
+  run_until w 900.0;
+  Alcotest.(check (list string)) "only post-rejoin traffic, no replay"
+    [ "new-1" ] (List.rev !seen)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "leave then rejoin on same node" `Quick
+        test_leave_then_rejoin_same_node;
+      Alcotest.test_case "rejoin gets fresh base (no history replay)" `Quick
+        test_rejoin_gets_fresh_base;
+    ]
+
+(* BB dissemination: sender broadcasts the body; the sequencer orders it
+   with a tiny Accept. Total order and resilience must be unchanged. *)
+let bb_config = { Group.Types.default_config with dissemination = Group.Types.Bb }
+
+let test_bb_total_order () =
+  let w = make_world ~seed:46L () in
+  let get, node_of = start_trio ~config:bb_config w in
+  let logs = Hashtbl.create 3 in
+  at w ~delay:30.0 (fun () ->
+      List.iter
+        (fun id ->
+          let log = ref [] in
+          Hashtbl.replace logs id log;
+          Sim.Proc.boot w.engine (node_of id) (fun () ->
+              let m = get id in
+              try
+                while true do
+                  match note_of (Group.Member.receive ~timeout:800.0 m) with
+                  | Some s -> log := s :: !log
+                  | None -> ()
+                done
+              with Sim.Proc.Timeout | Group.Types.Group_failure _ -> ()))
+        [ 1; 2; 3 ]);
+  at w ~delay:35.0 (fun () ->
+      List.iter
+        (fun id ->
+          Sim.Proc.boot w.engine (node_of id) (fun () ->
+              for i = 1 to 8 do
+                Group.Member.send (get id) (Note (Printf.sprintf "%d.%d" id i))
+              done))
+        [ 1; 2; 3 ]);
+  run_until w 1500.0;
+  let l1 = List.rev !(Hashtbl.find logs 1) in
+  Alcotest.(check int) "all 24 delivered" 24 (List.length l1);
+  Alcotest.(check (list string)) "identical at 2" l1 (List.rev !(Hashtbl.find logs 2));
+  Alcotest.(check (list string)) "identical at 3" l1 (List.rev !(Hashtbl.find logs 3))
+
+let test_bb_send_resilient_and_lossy () =
+  (* BB under 15% loss: bodies or accepts can vanish; the retransmission
+     path (sequencer holds every ordered entry) must recover them. *)
+  let w = make_world ~seed:47L () in
+  let config =
+    { bb_config with fail_timeout = 400.0; send_retries = 8 }
+  in
+  let get, node_of = start_trio ~config w in
+  let log = ref [] in
+  at w ~delay:30.0 (fun () -> Simnet.Network.set_loss w.net 0.15);
+  at w ~delay:30.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 3) (fun () ->
+          let m = get 3 in
+          try
+            while true do
+              match note_of (Group.Member.receive ~timeout:3000.0 m) with
+              | Some s -> log := s :: !log
+              | None -> ()
+            done
+          with Sim.Proc.Timeout | Group.Types.Group_failure _ -> ()));
+  at w ~delay:35.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 2) (fun () ->
+          for i = 1 to 20 do
+            try Group.Member.send (get 2) (Note (string_of_int i))
+            with Group.Types.Group_failure _ -> ()
+          done));
+  run_until w 5000.0;
+  Alcotest.(check (list string)) "all 20 delivered in order under loss"
+    (List.init 20 (fun i -> string_of_int (i + 1)))
+    (List.rev !log)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "BB method: total order" `Quick test_bb_total_order;
+      Alcotest.test_case "BB method: resilient under loss" `Quick
+        test_bb_send_resilient_and_lossy;
+    ]

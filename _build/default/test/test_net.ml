@@ -1,0 +1,260 @@
+(* Tests for the simulated network: latency, partitions, multicast, NICs. *)
+
+open Harness
+
+type Simnet.Payload.t += Ping of int
+
+let test_unicast_latency () =
+  let w = make_world ~latency:{ base = 1.0; jitter = 0.0; local = 0.05 } () in
+  let n1 = node ~id:1 "n1" and n2 = node ~id:2 "n2" in
+  let nic1 = Simnet.Network.attach w.net n1 in
+  let nic2 = Simnet.Network.attach w.net n2 in
+  let sock2 = Simnet.Network.socket nic2 ~proto:"test" in
+  let arrival = ref nan in
+  Sim.Proc.boot w.engine n2 (fun () ->
+      let _ = Sim.Mailbox.recv sock2 in
+      arrival := Sim.Proc.now ());
+  Sim.Proc.boot w.engine n1 (fun () ->
+      Simnet.Network.send w.net nic1 ~dst:2 ~proto:"test" (Ping 1));
+  Sim.Engine.run w.engine;
+  Alcotest.(check (float 1e-9)) "one base latency" 1.0 !arrival
+
+let test_self_send_is_local () =
+  let w = make_world ~latency:{ base = 1.0; jitter = 0.0; local = 0.05 } () in
+  let n1 = node ~id:1 "n1" in
+  let nic1 = Simnet.Network.attach w.net n1 in
+  let sock = Simnet.Network.socket nic1 ~proto:"test" in
+  let arrival = ref nan in
+  Sim.Proc.boot w.engine n1 (fun () ->
+      Simnet.Network.send w.net nic1 ~dst:1 ~proto:"test" (Ping 1);
+      let _ = Sim.Mailbox.recv sock in
+      arrival := Sim.Proc.now ());
+  Sim.Engine.run w.engine;
+  Alcotest.(check (float 1e-9)) "loopback latency" 0.05 !arrival
+
+let collect_multicast w ~ids ~sender_id =
+  let nodes = List.map (fun id -> node ~id (Printf.sprintf "n%d" id)) ids in
+  let nics = List.map (fun n -> (Sim.Node.id n, Simnet.Network.attach w.net n)) nodes in
+  let received = ref [] in
+  List.iter2
+    (fun n (id, nic) ->
+      let sock = Simnet.Network.socket nic ~proto:"test" in
+      Sim.Proc.boot w.engine n (fun () ->
+          let _ = Sim.Mailbox.recv sock in
+          received := id :: !received))
+    nodes nics;
+  let sender_nic = List.assoc sender_id nics in
+  let sender = List.find (fun n -> Sim.Node.id n = sender_id) nodes in
+  Sim.Proc.boot w.engine sender (fun () ->
+      Simnet.Network.multicast w.net sender_nic ~proto:"test" (Ping 99));
+  Sim.Engine.run w.engine;
+  List.sort compare !received
+
+let test_multicast_reaches_all () =
+  let w = make_world () in
+  Alcotest.(check (list int)) "all five nodes incl. sender" [ 1; 2; 3; 4; 5 ]
+    (collect_multicast w ~ids:[ 1; 2; 3; 4; 5 ] ~sender_id:3)
+
+let test_multicast_respects_partitions () =
+  let w = make_world () in
+  Simnet.Network.set_partitions w.net [ [ 1; 2 ]; [ 3; 4; 5 ] ];
+  Alcotest.(check (list int)) "only sender's cell" [ 1; 2 ]
+    (collect_multicast w ~ids:[ 1; 2; 3; 4; 5 ] ~sender_id:1)
+
+let test_partition_blocks_unicast_and_heals () =
+  let w = make_world () in
+  let n1 = node ~id:1 "n1" and n2 = node ~id:2 "n2" in
+  let nic1 = Simnet.Network.attach w.net n1 in
+  let nic2 = Simnet.Network.attach w.net n2 in
+  let sock2 = Simnet.Network.socket nic2 ~proto:"test" in
+  let received = ref [] in
+  Sim.Proc.boot w.engine n2 (fun () ->
+      while true do
+        match Sim.Mailbox.recv sock2 with
+        | { payload = Ping i; _ } -> received := i :: !received
+        | _ -> ()
+      done);
+  Simnet.Network.set_partitions w.net [ [ 1 ]; [ 2 ] ];
+  Sim.Proc.boot w.engine n1 (fun () ->
+      Simnet.Network.send w.net nic1 ~dst:2 ~proto:"test" (Ping 1));
+  at w ~delay:10.0 (fun () -> Simnet.Network.heal w.net);
+  at w ~delay:11.0 (fun () ->
+      Sim.Proc.boot w.engine n1 (fun () ->
+          Simnet.Network.send w.net nic1 ~dst:2 ~proto:"test" (Ping 2)));
+  Sim.Engine.run w.engine;
+  Alcotest.(check (list int)) "only post-heal ping" [ 2 ] !received
+
+let test_reachability_matrix () =
+  let w = make_world () in
+  Simnet.Network.set_partitions w.net [ [ 1; 2 ]; [ 3 ] ];
+  let r = Simnet.Network.reachable w.net in
+  Alcotest.(check bool) "1-2 same cell" true (r 1 2);
+  Alcotest.(check bool) "1-3 split" false (r 1 3);
+  Alcotest.(check bool) "self always" true (r 3 3);
+  Alcotest.(check bool) "unlisted unreachable" false (r 1 9)
+
+let test_crash_drops_in_flight () =
+  let w = make_world ~latency:{ base = 5.0; jitter = 0.0; local = 0.05 } () in
+  let n1 = node ~id:1 "n1" and n2 = node ~id:2 "n2" in
+  let nic1 = Simnet.Network.attach w.net n1 in
+  let nic2 = Simnet.Network.attach w.net n2 in
+  let sock2 = Simnet.Network.socket nic2 ~proto:"test" in
+  let received = ref 0 in
+  Sim.Proc.boot w.engine n2 (fun () ->
+      let _ = Sim.Mailbox.recv sock2 in
+      incr received);
+  Sim.Proc.boot w.engine n1 (fun () ->
+      Simnet.Network.send w.net nic1 ~dst:2 ~proto:"test" (Ping 1));
+  (* Crash the receiver while the packet is on the wire. *)
+  at w ~delay:2.0 (fun () -> Sim.Node.crash n2);
+  Sim.Engine.run w.engine;
+  Alcotest.(check int) "packet dropped at dead NIC" 0 !received
+
+let test_restart_needs_new_nic () =
+  let w = make_world ~latency:{ base = 1.0; jitter = 0.0; local = 0.05 } () in
+  let n1 = node ~id:1 "n1" and n2 = node ~id:2 "n2" in
+  let nic1 = Simnet.Network.attach w.net n1 in
+  let received = ref 0 in
+  let start_receiver () =
+    let nic2 = Simnet.Network.attach w.net n2 in
+    let sock2 = Simnet.Network.socket nic2 ~proto:"test" in
+    Sim.Proc.boot w.engine n2 (fun () ->
+        while true do
+          let _ = Sim.Mailbox.recv sock2 in
+          incr received
+        done)
+  in
+  start_receiver ();
+  at w ~delay:5.0 (fun () ->
+      Sim.Node.crash n2;
+      Sim.Node.restart n2);
+  (* Old NIC is stale: nothing arrives until the node re-attaches. *)
+  at w ~delay:6.0 (fun () ->
+      Sim.Proc.boot w.engine n1 (fun () ->
+          Simnet.Network.send w.net nic1 ~dst:2 ~proto:"test" (Ping 1)));
+  at w ~delay:10.0 (fun () -> start_receiver ());
+  at w ~delay:11.0 (fun () ->
+      Sim.Proc.boot w.engine n1 (fun () ->
+          Simnet.Network.send w.net nic1 ~dst:2 ~proto:"test" (Ping 2)));
+  Sim.Engine.run w.engine;
+  Alcotest.(check int) "only the post-reattach packet" 1 !received
+
+let test_loss () =
+  let w = make_world () in
+  let n1 = node ~id:1 "n1" and n2 = node ~id:2 "n2" in
+  let nic1 = Simnet.Network.attach w.net n1 in
+  let nic2 = Simnet.Network.attach w.net n2 in
+  let sock2 = Simnet.Network.socket nic2 ~proto:"test" in
+  let received = ref 0 in
+  Sim.Proc.boot w.engine n2 (fun () ->
+      while true do
+        let _ = Sim.Mailbox.recv sock2 in
+        incr received
+      done);
+  Simnet.Network.set_loss w.net 0.5;
+  Sim.Proc.boot w.engine n1 (fun () ->
+      for _ = 1 to 200 do
+        Simnet.Network.send w.net nic1 ~dst:2 ~proto:"test" (Ping 0);
+        Sim.Proc.sleep 1.0
+      done);
+  Sim.Engine.run w.engine;
+  Alcotest.(check bool) "roughly half arrive" true
+    (!received > 60 && !received < 140)
+
+let test_fault_filter () =
+  let w = make_world () in
+  let n1 = node ~id:1 "n1" and n2 = node ~id:2 "n2" in
+  let nic1 = Simnet.Network.attach w.net n1 in
+  let nic2 = Simnet.Network.attach w.net n2 in
+  let sock2 = Simnet.Network.socket nic2 ~proto:"test" in
+  let received = ref [] in
+  Sim.Proc.boot w.engine n2 (fun () ->
+      while true do
+        match Sim.Mailbox.recv sock2 with
+        | { payload = Ping i; _ } -> received := i :: !received
+        | _ -> ()
+      done);
+  Simnet.Network.set_fault_filter w.net
+    (Some
+       (function
+       | { Simnet.Packet.payload = Ping 1; _ } -> Simnet.Network.Drop
+       | { payload = Ping 2; _ } -> Simnet.Network.Delay 50.0
+       | _ -> Simnet.Network.Deliver));
+  Sim.Proc.boot w.engine n1 (fun () ->
+      Simnet.Network.send w.net nic1 ~dst:2 ~proto:"test" (Ping 1);
+      Simnet.Network.send w.net nic1 ~dst:2 ~proto:"test" (Ping 2);
+      Simnet.Network.send w.net nic1 ~dst:2 ~proto:"test" (Ping 3));
+  Sim.Engine.run w.engine;
+  (* Newest first: Ping 3 arrives promptly, Ping 2 arrives ~50ms later,
+     Ping 1 never. *)
+  Alcotest.(check (list int)) "dropped, delayed, delivered" [ 2; 3 ] !received
+
+let test_packet_metrics () =
+  let w = make_world () in
+  let n1 = node ~id:1 "n1" and n2 = node ~id:2 "n2" in
+  let nic1 = Simnet.Network.attach w.net n1 in
+  let nic2 = Simnet.Network.attach w.net n2 in
+  let _sock2 = Simnet.Network.socket nic2 ~proto:"test" in
+  Sim.Proc.boot w.engine n1 (fun () ->
+      Simnet.Network.send w.net nic1 ~dst:2 ~proto:"test" (Ping 1);
+      Simnet.Network.multicast w.net nic1 ~proto:"test" (Ping 2));
+  Sim.Engine.run w.engine;
+  Alcotest.(check int) "two wire packets" 2 (Sim.Metrics.count w.metrics "net.pkt");
+  Alcotest.(check int) "one multicast" 1 (Sim.Metrics.count w.metrics "net.mcast")
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    tc "unicast latency" `Quick test_unicast_latency;
+    tc "self send is local" `Quick test_self_send_is_local;
+    tc "multicast reaches all" `Quick test_multicast_reaches_all;
+    tc "multicast respects partitions" `Quick test_multicast_respects_partitions;
+    tc "partition blocks unicast, heal restores" `Quick
+      test_partition_blocks_unicast_and_heals;
+    tc "reachability matrix" `Quick test_reachability_matrix;
+    tc "crash drops in-flight packet" `Quick test_crash_drops_in_flight;
+    tc "restart needs new nic" `Quick test_restart_needs_new_nic;
+    tc "probabilistic loss" `Quick test_loss;
+    tc "fault filter" `Quick test_fault_filter;
+    tc "packet metrics" `Quick test_packet_metrics;
+  ]
+
+(* Redundant rails: one healthy rail suffices (the paper's "multiple,
+   redundant networks" deployment requirement). *)
+let test_rails_survive_single_rail_failure () =
+  (* A fresh 2-rail world, built directly. *)
+  let engine = Sim.Engine.create ~seed:5L () in
+  let net = Simnet.Network.create engine ~rails:2 () in
+  let n1 = node ~id:1 "n1" and n2 = node ~id:2 "n2" in
+  let nic1 = Simnet.Network.attach net n1 in
+  let nic2 = Simnet.Network.attach net n2 in
+  let sock2 = Simnet.Network.socket nic2 ~proto:"test" in
+  let received = ref 0 in
+  Sim.Proc.boot engine n2 (fun () ->
+      while true do
+        let _ = Sim.Mailbox.recv sock2 in
+        incr received
+      done);
+  (* Rail 0 dies: traffic flows over rail 1. *)
+  Simnet.Network.fail_rail net ~rail:0;
+  Sim.Proc.boot engine n1 (fun () ->
+      Simnet.Network.send net nic1 ~dst:2 ~proto:"test" (Ping 1));
+  Sim.Engine.run ~until:50.0 engine;
+  Alcotest.(check int) "delivered over the surviving rail" 1 !received;
+  (* Rail 1 partitioned differently: connectivity is the union. *)
+  Simnet.Network.restore_rail net ~rail:0;
+  Simnet.Network.set_rail_partitions net ~rail:0 [ [ 1 ]; [ 2 ] ];
+  Simnet.Network.set_rail_partitions net ~rail:1 [ [ 1; 2 ] ];
+  Alcotest.(check bool) "union reachability" true
+    (Simnet.Network.reachable net 1 2);
+  (* Both rails cut between them: now truly partitioned. *)
+  Simnet.Network.set_rail_partitions net ~rail:1 [ [ 1 ]; [ 2 ] ];
+  Alcotest.(check bool) "both rails cut -> unreachable" false
+    (Simnet.Network.reachable net 1 2)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "redundant rails survive single failure" `Quick
+        test_rails_survive_single_rail_failure;
+    ]

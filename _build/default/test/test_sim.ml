@@ -1,0 +1,332 @@
+(* Tests for the discrete-event engine and fiber layer. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_event_ordering () =
+  let engine = Sim.Engine.create () in
+  let order = ref [] in
+  let record tag () = order := tag :: !order in
+  Sim.Engine.schedule engine ~delay:5.0 (record "c");
+  Sim.Engine.schedule engine ~delay:1.0 (record "a");
+  Sim.Engine.schedule engine ~delay:1.0 (record "b");
+  Sim.Engine.run engine;
+  Alcotest.(check (list string)) "fires by time then insertion" [ "a"; "b"; "c" ]
+    (List.rev !order);
+  check_float "clock at last event" 5.0 (Sim.Engine.now engine)
+
+let test_run_until () =
+  let engine = Sim.Engine.create () in
+  let fired = ref [] in
+  Sim.Engine.schedule engine ~delay:1.0 (fun () -> fired := 1 :: !fired);
+  Sim.Engine.schedule engine ~delay:10.0 (fun () -> fired := 10 :: !fired);
+  Sim.Engine.run ~until:5.0 engine;
+  Alcotest.(check (list int)) "only early event" [ 1 ] (List.rev !fired);
+  check_float "clock stopped at limit" 5.0 (Sim.Engine.now engine);
+  Sim.Engine.run engine;
+  Alcotest.(check (list int)) "late event fires on resume" [ 1; 10 ]
+    (List.rev !fired)
+
+let test_sleep_sequence () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let trace = ref [] in
+  Sim.Proc.boot engine node (fun () ->
+      trace := (Sim.Proc.now (), "start") :: !trace;
+      Sim.Proc.sleep 3.0;
+      trace := (Sim.Proc.now (), "mid") :: !trace;
+      Sim.Proc.sleep 2.0;
+      trace := (Sim.Proc.now (), "end") :: !trace);
+  Sim.Engine.run engine;
+  let expect = [ (0.0, "start"); (3.0, "mid"); (5.0, "end") ] in
+  Alcotest.(check (list (pair (float 1e-9) string))) "sleep advances clock"
+    expect (List.rev !trace)
+
+let test_spawn_and_yield () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let order = ref [] in
+  Sim.Proc.boot engine node (fun () ->
+      Sim.Proc.spawn (fun () -> order := "child" :: !order);
+      order := "parent" :: !order;
+      Sim.Proc.yield ();
+      order := "parent-after-yield" :: !order);
+  Sim.Engine.run engine;
+  Alcotest.(check (list string)) "spawn runs after parent blocks"
+    [ "parent"; "child"; "parent-after-yield" ]
+    (List.rev !order)
+
+let test_crash_kills_fibers () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let progressed = ref false in
+  Sim.Proc.boot engine node (fun () ->
+      Sim.Proc.sleep 10.0;
+      progressed := true);
+  Sim.Engine.schedule engine ~delay:5.0 (fun () -> Sim.Node.crash node);
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "sleeping fiber never resumes" false !progressed
+
+let test_restart_does_not_revive_old_fibers () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let progressed = ref false in
+  Sim.Proc.boot engine node (fun () ->
+      Sim.Proc.sleep 10.0;
+      progressed := true);
+  Sim.Engine.schedule engine ~delay:5.0 (fun () ->
+      Sim.Node.crash node;
+      Sim.Node.restart node);
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "old incarnation stays dead" false !progressed;
+  Alcotest.(check int) "incarnation bumped" 1 (Sim.Node.incarnation node)
+
+let test_mailbox_fifo () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let mbox = Sim.Mailbox.create () in
+  let received = ref [] in
+  Sim.Proc.boot engine node (fun () ->
+      for _ = 1 to 3 do
+        received := Sim.Mailbox.recv mbox :: !received
+      done);
+  Sim.Engine.schedule engine ~delay:1.0 (fun () ->
+      Sim.Mailbox.send mbox "x";
+      Sim.Mailbox.send mbox "y";
+      Sim.Mailbox.send mbox "z");
+  Sim.Engine.run engine;
+  Alcotest.(check (list string)) "FIFO order" [ "x"; "y"; "z" ]
+    (List.rev !received)
+
+let test_mailbox_timeout () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let outcome = ref "" in
+  let mbox : string Sim.Mailbox.t = Sim.Mailbox.create () in
+  Sim.Proc.boot engine node (fun () ->
+      (match Sim.Mailbox.recv ~timeout:5.0 mbox with
+      | _ -> outcome := "got message"
+      | exception Sim.Proc.Timeout -> outcome := "timeout");
+      Alcotest.(check (float 1e-9)) "timed out at 5ms" 5.0 (Sim.Proc.now ()));
+  Sim.Engine.run engine;
+  Alcotest.(check string) "recv timed out" "timeout" !outcome
+
+let test_mailbox_waiter_count () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let mbox : int Sim.Mailbox.t = Sim.Mailbox.create () in
+  let observed = ref (-1) in
+  for _ = 1 to 3 do
+    Sim.Proc.boot engine node (fun () -> ignore (Sim.Mailbox.recv mbox))
+  done;
+  Sim.Engine.schedule engine ~delay:1.0 (fun () ->
+      observed := Sim.Mailbox.waiters mbox);
+  Sim.Engine.schedule engine ~delay:2.0 (fun () ->
+      Sim.Mailbox.send mbox 1;
+      Sim.Mailbox.send mbox 2;
+      Sim.Mailbox.send mbox 3);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "three blocked receivers" 3 !observed
+
+let test_message_not_lost_on_dead_waiter () =
+  let engine = Sim.Engine.create () in
+  let node1 = Sim.Node.create ~id:1 ~name:"n1" in
+  let node2 = Sim.Node.create ~id:2 ~name:"n2" in
+  let mbox : string Sim.Mailbox.t = Sim.Mailbox.create () in
+  let winner = ref "" in
+  Sim.Proc.boot engine node1 (fun () -> winner := Sim.Mailbox.recv mbox);
+  Sim.Engine.schedule engine ~delay:1.0 (fun () -> Sim.Node.crash node1);
+  Sim.Engine.schedule engine ~delay:2.0 (fun () ->
+      Sim.Proc.boot engine node2 (fun () -> winner := Sim.Mailbox.recv mbox));
+  Sim.Engine.schedule engine ~delay:3.0 (fun () -> Sim.Mailbox.send mbox "msg");
+  Sim.Engine.run engine;
+  Alcotest.(check string) "live waiter gets the message" "msg" !winner
+
+let test_ivar_broadcast () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let ivar = Sim.Ivar.create () in
+  let seen = ref 0 in
+  for _ = 1 to 4 do
+    Sim.Proc.boot engine node (fun () ->
+        let v = Sim.Ivar.read ivar in
+        seen := !seen + v)
+  done;
+  Sim.Engine.schedule engine ~delay:1.0 (fun () -> Sim.Ivar.fill ivar 10);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "all readers woken once" 40 !seen;
+  Alcotest.(check bool) "filled" true (Sim.Ivar.is_filled ivar)
+
+let test_ivar_error_propagation () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let ivar : int Sim.Ivar.t = Sim.Ivar.create () in
+  let outcome = ref "" in
+  Sim.Proc.boot engine node (fun () ->
+      match Sim.Ivar.read ivar with
+      | _ -> outcome := "value"
+      | exception Sim.Proc.Cancelled reason -> outcome := "cancelled: " ^ reason);
+  Sim.Engine.schedule engine ~delay:1.0 (fun () ->
+      Sim.Ivar.fill_exn ivar (Sim.Proc.Cancelled "server down"));
+  Sim.Engine.run engine;
+  Alcotest.(check string) "error surfaced" "cancelled: server down" !outcome
+
+let test_resource_serialises () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let cpu = Sim.Resource.create ~capacity:1 () in
+  let finish_times = ref [] in
+  for _ = 1 to 3 do
+    Sim.Proc.boot engine node (fun () ->
+        Sim.Resource.use cpu 10.0;
+        finish_times := Sim.Proc.now () :: !finish_times)
+  done;
+  Sim.Engine.run engine;
+  Alcotest.(check (list (float 1e-9))) "back-to-back completions"
+    [ 10.0; 20.0; 30.0 ] (List.rev !finish_times)
+
+let test_resource_release_on_exception () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let cpu = Sim.Resource.create ~capacity:1 () in
+  let second_ran = ref false in
+  Sim.Proc.boot engine node (fun () ->
+      (try Sim.Resource.with_held cpu (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Sim.Proc.sleep 1.0);
+  Sim.Proc.boot engine node (fun () ->
+      Sim.Resource.with_held cpu (fun () -> second_ran := true));
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "resource was released" true !second_ran
+
+let test_with_timeout_fires () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let outcome = ref "" in
+  Sim.Proc.boot engine node (fun () ->
+      match Sim.Proc.with_timeout 5.0 (fun () -> Sim.Proc.sleep 100.0) with
+      | () -> outcome := "finished"
+      | exception Sim.Proc.Timeout -> outcome := "timeout");
+  Sim.Engine.run engine;
+  Alcotest.(check string) "timeout raised" "timeout" !outcome
+
+let test_with_timeout_completes () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let outcome = ref 0 in
+  Sim.Proc.boot engine node (fun () ->
+      outcome :=
+        Sim.Proc.with_timeout 5.0 (fun () ->
+            Sim.Proc.sleep 1.0;
+            42));
+  Sim.Engine.run engine;
+  Alcotest.(check int) "value returned" 42 !outcome
+
+let test_condvar_await () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let cv = Sim.Condvar.create () in
+  let counter = ref 0 in
+  let done_at = ref 0.0 in
+  Sim.Proc.boot engine node (fun () ->
+      Sim.Condvar.await cv (fun () -> !counter >= 3);
+      done_at := Sim.Proc.now ());
+  Sim.Proc.boot engine node (fun () ->
+      for _ = 1 to 3 do
+        Sim.Proc.sleep 2.0;
+        incr counter;
+        Sim.Condvar.broadcast cv
+      done);
+  Sim.Engine.run engine;
+  Alcotest.(check (float 1e-9)) "woke when predicate held" 6.0 !done_at
+
+let test_determinism () =
+  let run_once seed =
+    let engine = Sim.Engine.create ~seed () in
+    let rng = Sim.Engine.rng engine in
+    let node = Sim.Node.create ~id:1 ~name:"n1" in
+    let log = Buffer.create 64 in
+    for i = 1 to 5 do
+      Sim.Proc.boot engine node (fun () ->
+          Sim.Proc.sleep (Sim.Rng.uniform rng ~lo:0.0 ~hi:10.0);
+          Buffer.add_string log (Printf.sprintf "%d@%.6f;" i (Sim.Proc.now ())))
+    done;
+    Sim.Engine.run engine;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "same seed, same trace" (run_once 42L) (run_once 42L);
+  Alcotest.(check bool) "different seed, different trace" true
+    (run_once 42L <> run_once 43L)
+
+let test_rng_statistics () =
+  let rng = Sim.Rng.create 7L in
+  let n = 10_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Sim.Rng.float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "uniform mean near 0.5" true (abs_float (mean -. 0.5) < 0.02);
+  let bound = 17 in
+  let hits = Array.make bound 0 in
+  for _ = 1 to n do
+    let v = Sim.Rng.int rng bound in
+    hits.(v) <- hits.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "all buckets hit" true (c > 0))
+    hits
+
+let test_heap_property =
+  QCheck.Test.make ~name:"heap pops in (time, seq) order" ~count:200
+    QCheck.(list (pair (float_bound_inclusive 1000.0) small_int))
+    (fun entries ->
+      let heap = Sim.Heap.create () in
+      List.iteri
+        (fun seq (time, value) -> Sim.Heap.push heap ~time ~seq value)
+        entries;
+      let rec drain acc =
+        match Sim.Heap.pop_min heap with
+        | None -> List.rev acc
+        | Some (time, seq, _) -> drain ((time, seq) :: acc)
+      in
+      let popped = drain [] in
+      let sorted = List.sort compare popped in
+      popped = sorted)
+
+let test_metrics_delta () =
+  let m = Sim.Metrics.create () in
+  Sim.Metrics.incr m "a";
+  let before = Sim.Metrics.counters m in
+  Sim.Metrics.incr m "a";
+  Sim.Metrics.incr ~by:3 m "b";
+  let after = Sim.Metrics.counters m in
+  Alcotest.(check (list (pair string int))) "delta"
+    [ ("a", 1); ("b", 3) ]
+    (Sim.Metrics.delta ~before ~after)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    tc "event ordering" `Quick test_event_ordering;
+    tc "run until" `Quick test_run_until;
+    tc "sleep sequence" `Quick test_sleep_sequence;
+    tc "spawn and yield" `Quick test_spawn_and_yield;
+    tc "crash kills fibers" `Quick test_crash_kills_fibers;
+    tc "restart does not revive fibers" `Quick test_restart_does_not_revive_old_fibers;
+    tc "mailbox fifo" `Quick test_mailbox_fifo;
+    tc "mailbox timeout" `Quick test_mailbox_timeout;
+    tc "mailbox waiter count" `Quick test_mailbox_waiter_count;
+    tc "message survives dead waiter" `Quick test_message_not_lost_on_dead_waiter;
+    tc "ivar broadcast" `Quick test_ivar_broadcast;
+    tc "ivar error" `Quick test_ivar_error_propagation;
+    tc "resource serialises" `Quick test_resource_serialises;
+    tc "resource releases on exception" `Quick test_resource_release_on_exception;
+    tc "with_timeout fires" `Quick test_with_timeout_fires;
+    tc "with_timeout completes" `Quick test_with_timeout_completes;
+    tc "condvar await" `Quick test_condvar_await;
+    tc "determinism" `Quick test_determinism;
+    tc "rng statistics" `Quick test_rng_statistics;
+    QCheck_alcotest.to_alcotest test_heap_property;
+    tc "metrics delta" `Quick test_metrics_delta;
+  ]

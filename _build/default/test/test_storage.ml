@@ -1,0 +1,249 @@
+(* Tests for the storage substrates: block device, commit block, object
+   table, Bullet server, NVRAM. *)
+
+open Harness
+
+let make_device w ?(blocks = 64) ?(write_ms = 40.0) ?(read_ms = 15.0) () =
+  Storage.Block_device.create w.engine ~metrics:w.metrics ~blocks
+    ~block_size:1024 ~read_ms ~write_ms ()
+
+let test_device_latency_and_serialisation () =
+  let w = make_world () in
+  let n = node ~id:1 "n1" in
+  let device = make_device w () in
+  let finished = ref [] in
+  (* Two writes and a read issued together must serialise: 40+40+15. *)
+  Sim.Proc.boot w.engine n (fun () ->
+      Storage.Block_device.write device 1 (Bytes.of_string "a");
+      finished := ("w1", Sim.Proc.now ()) :: !finished);
+  Sim.Proc.boot w.engine n (fun () ->
+      Storage.Block_device.write device 2 (Bytes.of_string "b");
+      finished := ("w2", Sim.Proc.now ()) :: !finished);
+  Sim.Proc.boot w.engine n (fun () ->
+      let data = Storage.Block_device.read device 1 in
+      finished := ("r", Sim.Proc.now ()) :: !finished;
+      Alcotest.(check string) "read back" "a" (Bytes.to_string data));
+  Sim.Engine.run w.engine;
+  Alcotest.(check (list (pair string (float 1e-6)))) "arm serialises"
+    [ ("w1", 40.0); ("w2", 80.0); ("r", 95.0) ]
+    (List.rev !finished)
+
+let test_device_write_survives_caller_crash () =
+  let w = make_world () in
+  let n = node ~id:1 "n1" in
+  let device = make_device w () in
+  Sim.Proc.boot w.engine n (fun () ->
+      Storage.Block_device.write device 3 (Bytes.of_string "durable"));
+  (* Crash the node while the write is in flight: the controller still
+     completes it. *)
+  at w ~delay:10.0 (fun () -> Sim.Node.crash n);
+  Sim.Engine.run w.engine;
+  Alcotest.(check string) "write completed" "durable"
+    (Bytes.to_string (Storage.Block_device.peek device 3))
+
+let test_commit_block_roundtrip () =
+  let w = make_world () in
+  let n = node ~id:1 "n1" in
+  let device = make_device w () in
+  let cb =
+    {
+      Storage.Commit_block.config_vector = [| true; true; false |];
+      seqno = 17;
+      recovering = true;
+    }
+  in
+  let result =
+    run_fiber w n (fun () ->
+        Storage.Commit_block.write device cb;
+        Storage.Commit_block.read device)
+  in
+  match result with
+  | Some got ->
+      Alcotest.(check (array bool)) "vector" cb.config_vector got.config_vector;
+      Alcotest.(check int) "seqno" 17 got.Storage.Commit_block.seqno;
+      Alcotest.(check bool) "recovering" true got.recovering
+  | None -> Alcotest.fail "commit block missing"
+
+let test_commit_block_blank () =
+  let w = make_world () in
+  let n = node ~id:1 "n1" in
+  let device = make_device w () in
+  let result = run_fiber w n (fun () -> Storage.Commit_block.read device) in
+  Alcotest.(check bool) "blank block reads as None" true (result = None)
+
+let commit_block_codec_property =
+  QCheck.Test.make ~name:"commit block codec roundtrip" ~count:200
+    QCheck.(triple (list bool) (int_bound 1_000_000) bool)
+    (fun (vector, seqno, recovering) ->
+      let cb =
+        {
+          Storage.Commit_block.config_vector = Array.of_list vector;
+          seqno;
+          recovering;
+        }
+      in
+      match Storage.Commit_block.decode (Storage.Commit_block.encode cb) with
+      | Some got ->
+          got.Storage.Commit_block.config_vector = cb.config_vector
+          && got.seqno = seqno
+          && got.recovering = recovering
+      | None -> false)
+
+let test_object_table () =
+  let w = make_world () in
+  let n = node ~id:1 "n1" in
+  let device = make_device w () in
+  let table = Storage.Object_table.attach device ~first_block:1 ~slots:8 in
+  let cap = Capability.owner ~port:"bullet@9" ~obj:3 (Capability.mint_secret 1L) in
+  run_fiber w n (fun () ->
+      Storage.Object_table.write_entry table ~dir_id:2
+        { Storage.Object_table.file_cap = cap; seqno = 5 };
+      Storage.Object_table.write_entry table ~dir_id:4
+        { Storage.Object_table.file_cap = cap; seqno = 9 };
+      Storage.Object_table.clear_entry table ~dir_id:4;
+      match Storage.Object_table.read_entry table ~dir_id:2 with
+      | Some entry ->
+          Alcotest.(check int) "seqno back" 5 entry.Storage.Object_table.seqno;
+          Alcotest.(check bool) "cap back" true
+            (Capability.equal cap entry.file_cap)
+      | None -> Alcotest.fail "entry lost");
+  Alcotest.(check (list int)) "scan sees only live entries" [ 2 ]
+    (List.map fst (Storage.Object_table.scan table))
+
+(* Bullet helpers: one server node, one client node. *)
+let bullet_world ?(seed = 5L) () =
+  let w = make_world ~seed () in
+  let server = node ~id:1 "bullet-server" in
+  let client = node ~id:2 "client" in
+  let snic = Simnet.Network.attach w.net server in
+  let cnic = Simnet.Network.attach w.net client in
+  let st = Rpc.Transport.create w.net snic in
+  let ct = Rpc.Transport.create w.net cnic in
+  let device = make_device w ~blocks:128 () in
+  let bullet =
+    Storage.Bullet.start w.net st ~device ~first_block:16 ~region_blocks:112 ()
+  in
+  (w, server, client, ct, device, bullet, st)
+
+let port1 = Storage.Bullet.port_of 1
+
+let test_bullet_create_read_delete () =
+  let w, _server, client, ct, _device, bullet, _st = bullet_world () in
+  run_fiber w client (fun () ->
+      let cap = Storage.Bullet.create ct ~port:port1 "hello bullet" in
+      Alcotest.(check string) "read back" "hello bullet"
+        (Storage.Bullet.read ct ~port:port1 cap);
+      Storage.Bullet.delete ct ~port:port1 cap;
+      match Storage.Bullet.read ct ~port:port1 cap with
+      | _ -> Alcotest.fail "read after delete should fail"
+      | exception Storage.Bullet.Error _ -> ());
+  Alcotest.(check int) "no live files" 0 (Storage.Bullet.live_files bullet)
+
+let test_bullet_small_create_is_one_disk_write () =
+  let w, _server, client, ct, device, _bullet, _st = bullet_world () in
+  run_fiber w client (fun () ->
+      let before = Storage.Block_device.writes_completed device in
+      ignore (Storage.Bullet.create ct ~port:port1 "tiny directory contents");
+      let after = Storage.Block_device.writes_completed device in
+      Alcotest.(check int) "immediate file = 1 write" 1 (after - before))
+
+let test_bullet_rights () =
+  let w, _server, client, ct, _device, _bullet, _st = bullet_world () in
+  run_fiber w client (fun () ->
+      let cap = Storage.Bullet.create ct ~port:port1 "guarded" in
+      let read_only = Capability.restrict cap ~mask:Storage.Bullet.right_read in
+      Alcotest.(check string) "read-only cap reads" "guarded"
+        (Storage.Bullet.read ct ~port:port1 read_only);
+      match Storage.Bullet.delete ct ~port:port1 read_only with
+      | () -> Alcotest.fail "delete without rights should fail"
+      | exception Storage.Bullet.Error _ -> ())
+
+let test_bullet_large_file () =
+  let w, _server, client, ct, _device, _bullet, _st = bullet_world () in
+  let big = String.init 5000 (fun i -> Char.chr (i mod 256)) in
+  run_fiber w client (fun () ->
+      let cap = Storage.Bullet.create ct ~port:port1 big in
+      Alcotest.(check string) "big file intact" big
+        (Storage.Bullet.read ct ~port:port1 cap))
+
+let test_bullet_crash_recovery () =
+  let w, server, client, ct, device, _bullet, _st = bullet_world () in
+  let cap_committed = ref None in
+  Sim.Proc.boot w.engine client (fun () ->
+      cap_committed := Some (Storage.Bullet.create ct ~port:port1 "survives"));
+  at w ~delay:200.0 (fun () ->
+      Sim.Node.crash server;
+      Sim.Node.restart server;
+      (* Reboot the server stack on the persistent device. *)
+      let snic = Simnet.Network.attach w.net server in
+      let st = Rpc.Transport.create w.net snic in
+      ignore
+        (Storage.Bullet.start w.net st ~device ~first_block:16
+           ~region_blocks:112 ()));
+  at w ~delay:300.0 (fun () ->
+      Sim.Proc.boot w.engine client (fun () ->
+          match !cap_committed with
+          | Some cap ->
+              Rpc.Transport.invalidate_cache ct ~port:port1;
+              Alcotest.(check string) "file recovered from disk" "survives"
+                (Storage.Bullet.read ct ~port:port1 cap)
+          | None -> Alcotest.fail "create never completed"));
+  run_until w 500.0
+
+let test_nvram_append_and_annihilate () =
+  let w = make_world () in
+  let n = node ~id:1 "n1" in
+  let nv =
+    Storage.Nvram.create ~capacity:100 ~size_of:String.length ~write_ms:0.05 ()
+  in
+  run_fiber w n (fun () ->
+      Alcotest.(check bool) "append a" true (Storage.Nvram.append nv "aaaa");
+      Alcotest.(check bool) "append b" true (Storage.Nvram.append nv "bbbb");
+      Alcotest.(check int) "used" 8 (Storage.Nvram.used_bytes nv);
+      let removed = Storage.Nvram.remove_if nv (fun r -> r = "aaaa") in
+      Alcotest.(check (list string)) "annihilated" [ "aaaa" ] removed;
+      Alcotest.(check int) "space reclaimed" 4 (Storage.Nvram.used_bytes nv);
+      (* Capacity enforcement. *)
+      let big = String.make 97 'x' in
+      Alcotest.(check bool) "overflow refused" false (Storage.Nvram.append nv big);
+      Alcotest.(check (list string)) "drain order" [ "bbbb" ]
+        (Storage.Nvram.take_all nv);
+      Alcotest.(check int) "empty" 0 (Storage.Nvram.used_bytes nv))
+
+let test_nvram_is_fast () =
+  let w = make_world () in
+  let n = node ~id:1 "n1" in
+  let nv =
+    Storage.Nvram.create ~capacity:24_576 ~size_of:String.length ~write_ms:0.05 ()
+  in
+  let elapsed =
+    run_fiber w n (fun () ->
+        let t0 = Sim.Proc.now () in
+        for _ = 1 to 10 do
+          ignore (Storage.Nvram.append nv "record")
+        done;
+        Sim.Proc.now () -. t0)
+  in
+  Alcotest.(check bool) "10 appends well under one disk write" true
+    (elapsed < 1.0)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    tc "device latency and serialisation" `Quick
+      test_device_latency_and_serialisation;
+    tc "write survives caller crash" `Quick
+      test_device_write_survives_caller_crash;
+    tc "commit block roundtrip" `Quick test_commit_block_roundtrip;
+    tc "commit block blank" `Quick test_commit_block_blank;
+    QCheck_alcotest.to_alcotest commit_block_codec_property;
+    tc "object table" `Quick test_object_table;
+    tc "bullet create/read/delete" `Quick test_bullet_create_read_delete;
+    tc "bullet small create = 1 disk write" `Quick
+      test_bullet_small_create_is_one_disk_write;
+    tc "bullet rights enforcement" `Quick test_bullet_rights;
+    tc "bullet large file" `Quick test_bullet_large_file;
+    tc "bullet crash recovery" `Quick test_bullet_crash_recovery;
+    tc "nvram append and annihilate" `Quick test_nvram_append_and_annihilate;
+    tc "nvram is fast" `Quick test_nvram_is_fast;
+  ]
