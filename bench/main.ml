@@ -5,15 +5,42 @@
 
    Run everything:        dune exec bench/main.exe
    One experiment:        dune exec bench/main.exe -- fig7
+   Machine-readable:      dune exec bench/main.exe -- fig7 --json [FILE]
+                          (writes BENCH_<name>.json per experiment, prints
+                          one aggregate JSON document on stdout)
    Available experiments: fig7 fig8 fig9 costs ablation-r ablation-size
                           ablation-disk ablation-method mix availability
                           micro *)
 
 module C = Dirsvc.Cluster
+module J = Sim.Json
 
-let printf = Printf.printf
+(* Under --json, stdout must stay pure JSON: every human-readable line in
+   this file flows through these two shadowed bindings. *)
+let quiet = ref false
+
+let printf fmt = Printf.ksprintf (fun s -> if not !quiet then print_string s) fmt
+
+let print_string s = if not !quiet then Stdlib.print_string s
 
 let stats_mean samples = (Workload.Stats.summarise samples).Workload.Stats.mean
+
+(* Latency-histogram summaries (p50/p90/p95/p99 straight from the bucket
+   counts) recorded by a cluster's servers during a run, keyed by the
+   canonical labelled metric name. *)
+let histogram_summaries metrics =
+  J.Obj
+    (List.map
+       (fun (key, h) -> (key, Sim.Metrics.Histogram.summary_to_json h))
+       (Sim.Metrics.histograms metrics))
+
+let series_to_json series =
+  J.List
+    (List.map
+       (fun (clients, per_second) ->
+         J.Obj
+           [ ("clients", J.Int clients); ("per_second", J.Float per_second) ])
+       series)
 
 let flavors =
   [
@@ -31,13 +58,14 @@ let fig7 () =
     List.map
       (fun (flavor, name) ->
         let cluster = C.create ~seed:7L flavor in
-        (name, Workload.Scenarios.run_fig7 ~repeats:12 cluster))
+        let fig = Workload.Scenarios.run_fig7 ~repeats:12 cluster in
+        (name, fig, C.metrics cluster))
       flavors
   in
   let row op paper pick =
     let cells =
       List.map
-        (fun (_, fig) -> Printf.sprintf "%.0f" (pick fig).Workload.Stats.mean)
+        (fun (_, fig, _) -> Printf.sprintf "%.0f" (pick fig).Workload.Stats.mean)
         measured
     in
     ([ op ] @ cells) @ [ paper ]
@@ -53,7 +81,36 @@ let fig7 () =
   print_string
     (Workload.Tables.render
        ~header:([ "Operation" ] @ List.map snd flavors @ [ "paper (G/R/N/V)" ])
-       rows)
+       rows);
+  J.Obj
+    [
+      ( "flavors",
+        J.List
+          (List.map
+             (fun (name, fig, metrics) ->
+               J.Obj
+                 [
+                   ("service", J.String name);
+                   ( "client_latency_ms",
+                     J.Obj
+                       [
+                         ( "append_delete",
+                           Workload.Stats.summary_to_json
+                             fig.Workload.Scenarios.append_delete_ms );
+                         ( "tmp_file",
+                           Workload.Stats.summary_to_json
+                             fig.Workload.Scenarios.tmp_file_ms );
+                         ( "lookup",
+                           Workload.Stats.summary_to_json
+                             fig.Workload.Scenarios.lookup_ms );
+                       ] );
+                   (* Per-server latency histograms recorded inside the
+                      servers themselves, e.g. "dirsvc.op_ms{op=append_row,
+                      server=2}". *)
+                   ("server_latency_ms", histogram_summaries metrics);
+                 ])
+             measured) );
+    ]
 
 (* ---- Fig. 8: lookup throughput vs clients ------------------------- *)
 
@@ -97,7 +154,26 @@ let fig8 () =
     (Workload.Bounds.read_bound params ~servers:2);
   printf "measured saturation (paper: 652 group, 520 RPC):\n";
   printf "  group: %.0f   group+nvram: %.0f   rpc: %.0f\n" (saturation group)
-    (saturation nvram) (saturation rpc)
+    (saturation nvram) (saturation rpc);
+  J.Obj
+    [
+      ("group", series_to_json group);
+      ("group_nvram", series_to_json nvram);
+      ("rpc", series_to_json rpc);
+      ( "analytic_bound",
+        J.Obj
+          [
+            ("group", J.Float (Workload.Bounds.read_bound params ~servers:3));
+            ("rpc", J.Float (Workload.Bounds.read_bound params ~servers:2));
+          ] );
+      ( "saturation",
+        J.Obj
+          [
+            ("group", J.Float (saturation group));
+            ("group_nvram", J.Float (saturation nvram));
+            ("rpc", J.Float (saturation rpc));
+          ] );
+    ]
 
 (* ---- Fig. 9: append-delete throughput vs clients ------------------ *)
 
@@ -115,7 +191,20 @@ let fig9 () =
   printf "measured saturation: group %.1f, rpc %.1f, nvram %.1f\n"
     (saturation group) (saturation rpc) (saturation nvram);
   printf
-    "(append and delete are both writes, so write throughput is twice these)\n"
+    "(append and delete are both writes, so write throughput is twice these)\n";
+  J.Obj
+    [
+      ("group", series_to_json group);
+      ("group_nvram", series_to_json nvram);
+      ("rpc", series_to_json rpc);
+      ( "saturation",
+        J.Obj
+          [
+            ("group", J.Float (saturation group));
+            ("group_nvram", J.Float (saturation nvram));
+            ("rpc", J.Float (saturation rpc));
+          ] );
+    ]
 
 (* ---- §3.1 cost analysis: messages and disk ops per update ---------- *)
 
@@ -186,14 +275,41 @@ let costs () =
       (get "grp.req") (get "grp.data") (get "grp.ack") (get "grp.done")
       (get "grp.req" + get "grp.data" + get "grp.ack" + get "grp.done");
     printf "  total wire packets: %d\n" (get "net.pkt");
-    printf "  disk writes across replicas: %d\n\n" (get "disk.delta")
+    printf "  disk writes across replicas: %d\n\n" (get "disk.delta");
+    J.Obj
+      [
+        ("service", J.String name);
+        ( "group_messages",
+          J.Obj
+            [
+              ("req", J.Int (get "grp.req"));
+              ("data", J.Int (get "grp.data"));
+              ("ack", J.Int (get "grp.ack"));
+              ("done", J.Int (get "grp.done"));
+              ( "total",
+                J.Int
+                  (get "grp.req" + get "grp.data" + get "grp.ack"
+                 + get "grp.done") );
+            ] );
+        ("wire_packets", J.Int (get "net.pkt"));
+        ("disk_writes", J.Int (get "disk.delta"));
+      ]
   in
-  one_update C.Group_disk
-    "Group service (paper: 5 messages, 2 disk ops at each replica)";
-  one_update C.Group_nvram
-    "Group service + NVRAM (paper: no disk ops in the critical path)";
-  one_update C.Rpc_pair "RPC service (paper: 2 RPCs of 3 messages, 3 disk ops)";
-  one_update C.Nfs_single "Sun NFS (1 RPC, 1 disk op)"
+  (* Bind one at a time: list elements evaluate right-to-left, which would
+     flip the order of the printed report. *)
+  let group =
+    one_update C.Group_disk
+      "Group service (paper: 5 messages, 2 disk ops at each replica)"
+  in
+  let nvram =
+    one_update C.Group_nvram
+      "Group service + NVRAM (paper: no disk ops in the critical path)"
+  in
+  let rpc =
+    one_update C.Rpc_pair "RPC service (paper: 2 RPCs of 3 messages, 3 disk ops)"
+  in
+  let nfs = one_update C.Nfs_single "Sun NFS (1 RPC, 1 disk op)" in
+  J.List [ group; nvram; rpc; nfs ]
 
 (* ---- Ablations ----------------------------------------------------- *)
 
@@ -237,7 +353,7 @@ let raw_send_latency r =
 let ablation_r () =
   printf "\n== Ablation: resilience degree r vs update latency ==\n";
   printf "(the paper's §1 trade-off: r buys fault tolerance with messages)\n\n";
-  let rows =
+  let measured =
     List.map
       (fun r ->
         let params =
@@ -247,6 +363,12 @@ let ablation_r () =
         let pair =
           stats_mean (Workload.Scenarios.append_delete ~repeats:10 cluster)
         in
+        (r, pair))
+      [ 0; 1; 2 ]
+  in
+  let rows =
+    List.map
+      (fun (r, pair) ->
         [
           Printf.sprintf "r = %d" r;
           Printf.sprintf "%.1f" pair;
@@ -255,23 +377,41 @@ let ablation_r () =
           | 1 -> "survives 1 crash"
           | _ -> "survives 2 crashes (paper default)");
         ])
-      [ 0; 1; 2 ]
+      measured
   in
   print_string
     (Workload.Tables.render
        ~header:[ "resilience"; "append-delete ms"; "guarantee" ]
        rows);
   printf "\nraw SendToGroup completion latency (no disk in the way):\n";
-  List.iter
-    (fun r -> printf "  r = %d: %.2f ms\n" r (raw_send_latency r))
-    [ 0; 1; 2 ];
+  let raw =
+    List.map
+      (fun r ->
+        let latency = raw_send_latency r in
+        printf "  r = %d: %.2f ms\n" r latency;
+        (r, latency))
+      [ 0; 1; 2 ]
+  in
   printf
-    "disk time dominates end-to-end latency at any r - the paper's very point.\n" 
+    "disk time dominates end-to-end latency at any r - the paper's very point.\n";
+  J.List
+    (List.map
+       (fun (r, pair) ->
+         J.Obj
+           [
+             ("resilience", J.Int r);
+             ("append_delete_ms", J.Float pair);
+             ( "raw_send_ms",
+               match List.assoc_opt r raw with
+               | Some v -> J.Float v
+               | None -> J.Null );
+           ])
+       measured)
 
 let ablation_size () =
   printf "\n== Ablation: group size (3 vs 5 replicas) ==\n";
   printf "(the paper: the protocol is unchanged for four or more replicas)\n\n";
-  let rows =
+  let measured =
     List.map
       (fun n ->
         let cluster = C.create ~seed:29L ~servers:n C.Group_disk in
@@ -279,22 +419,38 @@ let ablation_size () =
           stats_mean (Workload.Scenarios.append_delete ~repeats:8 cluster)
         in
         let look = stats_mean (Workload.Scenarios.lookup ~repeats:20 cluster) in
+        (n, pair, look))
+      [ 3; 5 ]
+  in
+  let rows =
+    List.map
+      (fun (n, pair, look) ->
         [
           Printf.sprintf "%d replicas" n;
           Printf.sprintf "%.1f" pair;
           Printf.sprintf "%.2f" look;
         ])
-      [ 3; 5 ]
+      measured
   in
   print_string
     (Workload.Tables.render
        ~header:[ "group size"; "append-delete ms"; "lookup ms" ]
-       rows)
+       rows);
+  J.List
+    (List.map
+       (fun (n, pair, look) ->
+         J.Obj
+           [
+             ("replicas", J.Int n);
+             ("append_delete_ms", J.Float pair);
+             ("lookup_ms", J.Float look);
+           ])
+       measured)
 
 let ablation_disk () =
   printf "\n== Ablation: disk latency scaling ==\n";
   printf "(the paper §5: disk operations are the major bottleneck)\n\n";
-  let rows =
+  let measured =
     List.map
       (fun scale ->
         let params = Dirsvc.Params.with_disk_scale Dirsvc.Params.default scale in
@@ -306,18 +462,34 @@ let ablation_disk () =
         let nvram_pair =
           stats_mean (Workload.Scenarios.append_delete ~repeats:8 nvram)
         in
+        (scale, disk_pair, nvram_pair))
+      [ 0.25; 0.5; 1.0; 2.0 ]
+  in
+  let rows =
+    List.map
+      (fun (scale, disk_pair, nvram_pair) ->
         [
           Printf.sprintf "%.2fx disk" scale;
           Printf.sprintf "%.1f" disk_pair;
           Printf.sprintf "%.1f" nvram_pair;
         ])
-      [ 0.25; 0.5; 1.0; 2.0 ]
+      measured
   in
   print_string
     (Workload.Tables.render
        ~header:[ "disk speed"; "group pair ms"; "nvram pair ms" ]
        rows);
-  printf "the group service scales with the disk; the NVRAM service does not.\n"
+  printf "the group service scales with the disk; the NVRAM service does not.\n";
+  J.List
+    (List.map
+       (fun (scale, disk_pair, nvram_pair) ->
+         J.Obj
+           [
+             ("disk_scale", J.Float scale);
+             ("group_pair_ms", J.Float disk_pair);
+             ("nvram_pair_ms", J.Float nvram_pair);
+           ])
+       measured)
 
 (* ---- Ablation: PB vs BB dissemination ------------------------------ *)
 
@@ -351,6 +523,7 @@ let ablation_method () =
             Hashtbl.replace members id m))
       [ 1; 2; 3 ];
     let samples = ref [] in
+    let result = ref J.Null in
     Sim.Engine.schedule engine ~delay:30.0 (fun () ->
         Sim.Proc.boot engine (Hashtbl.find nodes 2) (fun () ->
             let m = Hashtbl.find members 2 in
@@ -369,14 +542,24 @@ let ablation_method () =
               "  %-3s latency %.2f ms/send; sequencer forwards %d full bodies,                %d accepts; sender bodies %d\n"
               label
               (stats_mean !samples)
-              (get "grp.data") (get "grp.accept") (get "grp.body")));
-    Sim.Engine.run ~until:2_000.0 engine
+              (get "grp.data") (get "grp.accept") (get "grp.body");
+            result :=
+              J.Obj
+                [
+                  ("latency_ms_per_send", J.Float (stats_mean !samples));
+                  ("sequencer_bodies", J.Int (get "grp.data"));
+                  ("accepts", J.Int (get "grp.accept"));
+                  ("sender_bodies", J.Int (get "grp.body"));
+                ]));
+    Sim.Engine.run ~until:2_000.0 engine;
+    !result
   in
-  run Group.Types.Pb "PB:";
-  run Group.Types.Bb "BB:";
+  let pb = run Group.Types.Pb "PB:" in
+  let bb = run Group.Types.Bb "BB:" in
   printf
     "same ordering guarantees and latency; under BB the body crosses the\n\
-     sequencer zero times - the win grows with message size.\n"
+     sequencer zero times - the win grows with message size.\n";
+  J.Obj [ ("pb", pb); ("bb", bb) ]
 
 (* ---- Availability: unavailability window around failures ----------- *)
 
@@ -431,12 +614,22 @@ let availability () =
           (!outage_end -. !outage_start)
           rejoin
     | false, true ->
-        printf "  %-28s outage did not end within the run\n" label)
+        printf "  %-28s outage did not end within the run\n" label);
+    J.Obj
+      [
+        ("scenario", J.String label);
+        ( "outage_ms",
+          if Float.is_nan !outage_start then J.Float 0.0
+          else if Float.is_nan !outage_end then J.Null
+          else J.Float (!outage_end -. !outage_start) );
+        ("rejoin_ms", J.Float rejoin);
+      ]
   in
-  run 3 "follower server crash:";
-  run 1 "sequencer-hosting crash:";
+  let follower = run 3 "follower server crash:" in
+  let sequencer = run 1 "sequencer-hosting crash:" in
   printf
-    "(outage = first refused update to first completed update; crash at t=500;\n lookups are served locally by the survivors and see no outage)\n"
+    "(outage = first refused update to first completed update; crash at t=500;\n lookups are served locally by the survivors and see no outage)\n";
+  J.List [ follower; sequencer ]
 
 (* ---- Bechamel microbenchmarks: one Test.make per table/figure ------ *)
 
@@ -536,16 +729,23 @@ let micro () =
     in
     Analyze.all ols Toolkit.Instance.monotonic_clock raw
   in
-  List.iter
-    (fun test ->
-      let results = analyse (benchmark test) in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] -> printf "  %-36s %10.1f ns/op\n" name est
-          | _ -> printf "  %-36s (no estimate)\n" name)
-        results)
-    tests
+  let estimates =
+    List.concat_map
+      (fun test ->
+        let results = analyse (benchmark test) in
+        Hashtbl.fold
+          (fun name result acc ->
+            match Analyze.OLS.estimates result with
+            | Some [ est ] ->
+                printf "  %-36s %10.1f ns/op\n" name est;
+                (name, J.Float est) :: acc
+            | _ ->
+                printf "  %-36s (no estimate)\n" name;
+                (name, J.Null) :: acc)
+          results [])
+      tests
+  in
+  J.Obj estimates
 
 (* ---- Driver --------------------------------------------------------- *)
 
@@ -553,23 +753,39 @@ let micro () =
    (§2). Aggregate throughput under the realistic mix. *)
 let mix () =
   printf "\n== Mixed workload: 98%% reads / 2%% updates (paper §2) ==\n\n";
-  let rows =
+  let measured =
     List.map
       (fun (flavor, name) ->
         let cluster = C.create ~seed:55L flavor in
-        let point = Workload.Mix.run cluster ~clients:5 ~read_fraction:0.98 in
+        (name, Workload.Mix.run cluster ~clients:5 ~read_fraction:0.98))
+      flavors
+  in
+  let rows =
+    List.map
+      (fun (name, point) ->
         [
           name;
           Printf.sprintf "%.0f" point.Workload.Mix.ops_per_second;
           Printf.sprintf "%.0f" point.Workload.Mix.reads_per_second;
           Printf.sprintf "%.1f" point.Workload.Mix.writes_per_second;
         ])
-      flavors
+      measured
   in
   print_string
     (Workload.Tables.render
        ~header:[ "service"; "ops/s"; "reads/s"; "writes/s" ]
-       rows)
+       rows);
+  J.List
+    (List.map
+       (fun (name, point) ->
+         J.Obj
+           [
+             ("service", J.String name);
+             ("ops_per_second", J.Float point.Workload.Mix.ops_per_second);
+             ("reads_per_second", J.Float point.Workload.Mix.reads_per_second);
+             ("writes_per_second", J.Float point.Workload.Mix.writes_per_second);
+           ])
+       measured)
 
 let all_experiments =
   [
@@ -586,18 +802,68 @@ let all_experiments =
     ("micro", micro);
   ]
 
+(* --json [FILE]: machine-readable output. Each experiment's record is
+   written to BENCH_<name>.json (dashes mapped to underscores), and one
+   aggregate document is printed on stdout — and also written to FILE when
+   given. A bare token after --json is taken as the FILE unless it names
+   an experiment. *)
+type json_mode = Text | Json of string option
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_experiments
+  let rec parse names mode = function
+    | [] -> (List.rev names, mode)
+    | "--json" :: rest -> (
+        match rest with
+        | path :: rest'
+          when (not (List.mem_assoc path all_experiments))
+               && String.length path > 0
+               && path.[0] <> '-' ->
+            parse names (Json (Some path)) rest'
+        | _ -> parse names (Json None) rest)
+    | name :: rest -> parse (name :: names) mode rest
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name all_experiments with
-      | Some f -> f ()
-      | None ->
-          printf "unknown experiment %S; available: %s\n" name
-            (String.concat " " (List.map fst all_experiments));
-          exit 1)
-    requested
+  let requested, mode = parse [] Text (List.tl (Array.to_list Sys.argv)) in
+  let requested =
+    if requested = [] then List.map fst all_experiments else requested
+  in
+  (match mode with Json _ -> quiet := true | Text -> ());
+  let results =
+    List.map
+      (fun name ->
+        match List.assoc_opt name all_experiments with
+        | Some f ->
+            let value = f () in
+            (match mode with
+            | Json _ ->
+                let file =
+                  Printf.sprintf "BENCH_%s.json"
+                    (String.map (function '-' -> '_' | c -> c) name)
+                in
+                let oc = open_out file in
+                output_string oc
+                  (J.to_string_pretty
+                     (J.Obj
+                        [ ("experiment", J.String name); ("result", value) ]));
+                output_char oc '\n';
+                close_out oc
+            | Text -> ());
+            (name, value)
+        | None ->
+            Printf.eprintf "unknown experiment %S; available: %s\n" name
+              (String.concat " " (List.map fst all_experiments));
+            exit 1)
+      requested
+  in
+  match mode with
+  | Text -> ()
+  | Json target ->
+      let doc = J.to_string_pretty (J.Obj results) in
+      (match target with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc doc;
+          output_char oc '\n';
+          close_out oc
+      | None -> ());
+      Stdlib.print_string doc;
+      Stdlib.print_newline ()

@@ -47,22 +47,96 @@ let clients_arg =
   let doc = "Maximum number of concurrent clients to sweep." in
   Cmdliner.Arg.(value & opt int 7 & info [ "clients" ] ~docv:"N" ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Write every trace event as JSONL to $(docv) ($(b,-) for stdout). Same \
+     seed, byte-identical file."
+  in
+  Cmdliner.Arg.(
+    value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Print the metrics registry (counters, latency histograms) at exit." in
+  Cmdliner.Arg.(value & flag & info [ "metrics" ] ~doc)
+
 let params_with ~disk_ms =
   {
     Dirsvc.Params.default with
     disk_write_ms = disk_ms;
   }
 
+(* ---- observability plumbing ------------------------------------------- *)
+
+let open_trace_out = function
+  | None -> None
+  | Some "-" -> Some (stdout, false)
+  | Some path -> (
+      try Some (open_out path, true)
+      with Sys_error msg ->
+        Printf.eprintf "dirsim: cannot open trace output: %s\n" msg;
+        exit 2)
+
+let close_trace_out = function
+  | None -> ()
+  | Some (oc, close) -> if close then close_out oc else flush oc
+
+(* Stream events as they happen instead of dumping the ring at the end:
+   the file then holds the whole run even past the ring's capacity. *)
+let install_trace ?also engine oc =
+  let trace = Sim.Trace.create () in
+  Sim.Trace.set_sink trace
+    (Some
+       (fun e ->
+         output_string oc (Sim.Trace.event_to_jsonl e);
+         output_char oc '\n';
+         match also with None -> () | Some f -> f e));
+  Sim.Engine.set_trace engine (Some trace)
+
+let print_metrics m =
+  printf "\n-- counters --\n";
+  List.iter
+    (fun (k, v) -> printf "  %-44s %d\n" k v)
+    (Sim.Metrics.counters m);
+  match Sim.Metrics.histograms m with
+  | [] -> ()
+  | hists ->
+      printf "-- latency histograms (ms) --\n";
+      List.iter
+        (fun (k, h) ->
+          let q = Sim.Metrics.Histogram.quantile h in
+          printf "  %-44s n=%d mean=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f\n"
+            k
+            (Sim.Metrics.Histogram.count h)
+            (Sim.Metrics.Histogram.mean h)
+            (q 0.5) (q 0.9) (q 0.99)
+            (Sim.Metrics.Histogram.max_value h))
+        hists
+
+let attach_observability cluster out =
+  match out with
+  | None -> ()
+  | Some (oc, _) -> install_trace (C.engine cluster) oc
+
+let finish_observability cluster out show_metrics =
+  close_trace_out out;
+  if show_metrics then print_metrics (C.metrics cluster)
+
 (* ---- fig7 ------------------------------------------------------------ *)
 
-let run_fig7 seed repeats disk_ms =
+let run_fig7 seed repeats disk_ms trace_out show_metrics =
   let params = params_with ~disk_ms in
   printf "Fig. 7 single-client latencies (seed %d, disk %.0f ms):\n\n" seed disk_ms;
+  let out = open_trace_out trace_out in
   let rows =
     List.map
       (fun (flavor, name) ->
         let cluster = C.create ~seed:(Int64.of_int seed) ~params flavor in
+        attach_observability cluster out;
         let fig = Workload.Scenarios.run_fig7 ~repeats cluster in
+        if show_metrics then begin
+          printf "== %s ==" name;
+          print_metrics (C.metrics cluster)
+        end;
         [
           name;
           Printf.sprintf "%.0f" fig.Workload.Scenarios.append_delete_ms.Workload.Stats.mean;
@@ -76,6 +150,7 @@ let run_fig7 seed repeats disk_ms =
         (C.Group_nvram, "group+nvram(3)");
       ]
   in
+  close_trace_out out;
   print_string
     (Workload.Tables.render
        ~header:[ "service"; "append-delete ms"; "tmp file ms"; "lookup ms" ]
@@ -117,8 +192,10 @@ let run_fig9 seed clients =
 
 (* ---- demo ------------------------------------------------------------ *)
 
-let run_demo seed flavor =
+let run_demo seed flavor trace_out show_metrics =
   let cluster = C.create ~seed:(Int64.of_int seed) flavor in
+  let out = open_trace_out trace_out in
+  attach_observability cluster out;
   (match flavor with
   | C.Group_disk | C.Group_nvram ->
       ignore (C.await_serving cluster ~count:(C.n_servers cluster))
@@ -138,14 +215,17 @@ let run_demo seed flavor =
       printf "  deleted row; directory has %d rows\n"
         (List.length (Dirsvc.Client.list_dir client cap).Dirsvc.Directory.entries));
   C.run_until cluster (Sim.Engine.now (C.engine cluster) +. 30_000.0);
-  match Dirsvc.Consistency.check_convergence (C.store_snapshots cluster) with
+  (match Dirsvc.Consistency.check_convergence (C.store_snapshots cluster) with
   | Ok () -> printf "replicas converged.\n"
-  | Error d -> printf "DIVERGED: %s\n" (Dirsvc.Consistency.divergence_to_string d)
+  | Error d -> printf "DIVERGED: %s\n" (Dirsvc.Consistency.divergence_to_string d));
+  finish_observability cluster out show_metrics
 
 (* ---- drill ------------------------------------------------------------ *)
 
-let run_drill seed =
+let run_drill seed trace_out show_metrics =
   let cluster = C.create ~seed:(Int64.of_int seed) C.Group_disk in
+  let out = open_trace_out trace_out in
+  attach_observability cluster out;
   ignore (C.await_serving cluster ~count:3);
   printf "three servers serving; crashing server 1 (the group creator)...\n";
   C.crash_server cluster 1;
@@ -166,16 +246,17 @@ let run_drill seed =
     | Ok () -> printf "ok\n"
     | Error d -> printf "DIVERGED: %s\n" (Dirsvc.Consistency.divergence_to_string d)
   end
-  else printf "recovery did not complete in time\n"
+  else printf "recovery did not complete in time\n";
+  finish_observability cluster out show_metrics
 
 (* ---- trace ------------------------------------------------------------ *)
 
-(* Run a short scripted scenario with the event tracer on and print the
-   annotated timeline: every packet on the wire (locates, RPC
-   transactions, group requests/data/acks/dones, Bullet traffic) plus
-   the servers' recovery milestones. The best way to see the paper's
-   protocols actually happen. *)
-let run_trace seed contains until =
+(* Run a short scripted scenario with tracing on and print the annotated
+   timeline: every packet on the wire (locates, RPC transactions, group
+   requests/data/acks/dones, Bullet traffic) plus the servers' recovery
+   milestones. The best way to see the paper's protocols actually
+   happen. *)
+let run_trace seed contains until trace_out =
   let cluster = C.create ~seed:(Int64.of_int seed) C.Group_disk in
   let engine = C.engine cluster in
   let matches line =
@@ -188,9 +269,17 @@ let run_trace seed contains until =
         in
         scan 0
   in
-  Sim.Engine.set_tracer engine
-    (Some
-       (fun t line -> if matches line then printf "%10.3f  %s\n" t line));
+  let print_event e =
+    let line = Sim.Trace.event_to_text e in
+    if matches line then printf "%s\n" line
+  in
+  let out = open_trace_out trace_out in
+  (match out with
+  | Some (oc, _) -> install_trace ~also:print_event engine oc
+  | None ->
+      let trace = Sim.Trace.create () in
+      Sim.Trace.set_sink trace (Some print_event);
+      Sim.Engine.set_trace engine (Some trace));
   ignore (C.await_serving cluster ~count:3);
   let client = C.client cluster in
   let node = Rpc.Transport.node (Dirsvc.Client.transport client) in
@@ -200,6 +289,7 @@ let run_trace seed contains until =
       ignore (Dirsvc.Client.lookup client cap "traced");
       Dirsvc.Client.delete_row client cap ~name:"traced");
   C.run_until cluster until;
+  close_trace_out out;
   printf "-- trace ends at t=%.1f ms --\n" (Sim.Engine.now engine)
 
 (* ---- cmdliner wiring --------------------------------------------------- *)
@@ -209,7 +299,9 @@ open Cmdliner
 let fig7_cmd =
   Cmd.v
     (Cmd.info "fig7" ~doc:"Reproduce Fig. 7 (single-client latencies).")
-    Term.(const run_fig7 $ seed_arg $ repeats_arg $ disk_ms_arg)
+    Term.(
+      const run_fig7 $ seed_arg $ repeats_arg $ disk_ms_arg $ trace_out_arg
+      $ metrics_arg)
 
 let fig8_cmd =
   Cmd.v
@@ -224,7 +316,7 @@ let fig9_cmd =
 let demo_cmd =
   Cmd.v
     (Cmd.info "demo" ~doc:"Boot a deployment and run a CRUD cycle.")
-    Term.(const run_demo $ seed_arg $ flavor_arg)
+    Term.(const run_demo $ seed_arg $ flavor_arg $ trace_out_arg $ metrics_arg)
 
 let trace_cmd =
   let contains =
@@ -240,12 +332,12 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:
          "Print the annotated event timeline of a boot + one update cycle.")
-    Term.(const run_trace $ seed_arg $ contains $ until)
+    Term.(const run_trace $ seed_arg $ contains $ until $ trace_out_arg)
 
 let drill_cmd =
   Cmd.v
     (Cmd.info "drill" ~doc:"Crash/recovery fault drill on the group service.")
-    Term.(const run_drill $ seed_arg)
+    Term.(const run_drill $ seed_arg $ trace_out_arg $ metrics_arg)
 
 let main_cmd =
   let doc =

@@ -148,7 +148,8 @@ let create ?(seed = 7L) ?(params = Params.default) ?servers ?(rails = 1) flavor 
           match flavor with
           | Group_nvram ->
               Some
-                (Storage.Nvram.create ~capacity:params.Params.nvram_capacity
+                (Storage.Nvram.create ~engine
+                   ~capacity:params.Params.nvram_capacity
                    ~size_of:Group_server.log_record_size
                    ~write_ms:params.Params.nvram_write_ms ())
           | Group_disk | Rpc_pair | Nfs_single -> None

@@ -172,6 +172,14 @@ let apply store ~seqno op =
           let dir = { dir with rows = List.map replace dir.rows; seqno } in
           Ok (Store.add cap.obj dir store, Updated))
 
+let op_kind = function
+  | Create_dir _ -> "create_dir"
+  | Delete_dir _ -> "delete_dir"
+  | Append_row _ -> "append_row"
+  | Delete_row _ -> "delete_row"
+  | Chmod_row _ -> "chmod_row"
+  | Replace_set _ -> "replace_set"
+
 let dir_id_of_op store = function
   | Create_dir { hint = Some id; _ } -> Some id
   | Create_dir { hint = None; _ } -> Some (lowest_free_id store)

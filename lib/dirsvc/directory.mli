@@ -96,6 +96,10 @@ type op_result = Created of dir_id | Updated
     results on every replica. *)
 val apply : store -> seqno:int -> op -> (store * op_result, error) result
 
+(** Short stable name of an operation's constructor, for metric labels
+    and trace events. *)
+val op_kind : op -> string
+
 (** [dir_id_of_op store op] is the directory an operation touches once
     applied — for Create the id it {e would} allocate. Used by the NVRAM
     server's annihilation and coalescing logic. *)

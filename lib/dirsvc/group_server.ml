@@ -73,7 +73,34 @@ let majority_ok t =
   | Some g -> List.length (Group.Member.members g) >= majority t
   | None -> false
 
-let tracef t fmt = Sim.Engine.tracef (Simnet.Network.engine t.net) fmt
+let emit t ~name attrs =
+  Sim.Engine.emit (Simnet.Network.engine t.net) ~subsystem:"dirsvc"
+    ~node:(Sim.Node.id t.node) ~name attrs
+
+(* Wraps a client-facing handler: per-op latency lands in the
+   ["dirsvc.op_ms"] histogram labelled by server and op kind, plus a
+   trace event carrying the outcome. *)
+let timed_op t ~op f =
+  let engine = Simnet.Network.engine t.net in
+  let started = Sim.Engine.now engine in
+  let reply = f () in
+  let elapsed = Sim.Engine.now engine -. started in
+  (match t.metrics with
+  | Some m ->
+      Sim.Metrics.observe_hist m "dirsvc.op_ms"
+        ~labels:[ ("op", op); ("server", string_of_int t.server_id) ]
+        elapsed
+  | None -> ());
+  emit t ~name:"op" (fun () ->
+      [
+        ("op", Sim.Trace.Str op);
+        ("server", Sim.Trace.Int t.server_id);
+        ("latency_ms", Sim.Trace.Float elapsed);
+        ( "status",
+          Sim.Trace.Str
+            (match reply with Wire.Err_rep _ -> "err" | _ -> "ok") );
+      ]);
+  reply
 
 let fresh_secret t =
   t.next_secret <- t.next_secret + 1;
@@ -290,22 +317,26 @@ let handle_write t op =
 
 let client_handler t ~client:_ body =
   match body with
-  | Wire.Dir_request (Wire.Write_op op) -> Wire.Dir_reply (handle_write t op)
+  | Wire.Dir_request (Wire.Write_op op) ->
+      Wire.Dir_reply
+        (timed_op t ~op:(Directory.op_kind op) (fun () -> handle_write t op))
   | Wire.Dir_request (Wire.List_req { cap; column }) ->
       Wire.Dir_reply
-        (handle_read t (fun store ->
-             match Directory.list_dir store ~cap ~column with
-             | Ok listing -> Wire.Listing_rep listing
-             | Error e -> Wire.Err_rep (Wire.Op_error e)))
+        (timed_op t ~op:"list" (fun () ->
+             handle_read t (fun store ->
+                 match Directory.list_dir store ~cap ~column with
+                 | Ok listing -> Wire.Listing_rep listing
+                 | Error e -> Wire.Err_rep (Wire.Op_error e))))
   | Wire.Dir_request (Wire.Lookup_req { items; column }) ->
       Wire.Dir_reply
-        (handle_read t (fun store ->
-             let resolve (cap, name) =
-               match Directory.lookup store ~cap ~name ~column with
-               | Ok (cap, mask) -> Some (cap, mask)
-               | Error _ -> None
-             in
-             Wire.Lookup_rep (List.map resolve items)))
+        (timed_op t ~op:"lookup" (fun () ->
+             handle_read t (fun store ->
+                 let resolve (cap, name) =
+                   match Directory.lookup store ~cap ~name ~column with
+                   | Ok (cap, mask) -> Some (cap, mask)
+                   | Error _ -> None
+                 in
+                 Wire.Lookup_rep (List.map resolve items))))
   | _ -> Wire.Dir_reply (Wire.Err_rep (Wire.Unavailable "bad request"))
 
 (* ---- Admin (recovery) handlers -------------------------------------- *)
@@ -387,8 +418,11 @@ let load_disk_state t =
           t.store <- Directory.Store.add dir_id dir t.store;
           t.file_caps <- Directory.Store.add dir_id file_cap t.file_caps
       | exception (Storage.Bullet.Error _ | Rpc.Transport.Rpc_failure _) ->
-          tracef t "dirsvc %d: lost directory %d (bullet file unreadable)"
-            t.server_id dir_id)
+          emit t ~name:"lost_dir" (fun () ->
+              [
+                ("server", Sim.Trace.Int t.server_id);
+                ("dir", Sim.Trace.Int dir_id);
+              ]))
     entries;
   let max_dir_seqno =
     Directory.Store.fold
@@ -425,7 +459,8 @@ let load_disk_state t =
     (* Crash during recovery: our state may mix old and new directory
        versions. Zero the sequence number so nobody recovers from us
        (paper §3). *)
-    tracef t "dirsvc %d: crashed during recovery; state untrusted" t.server_id;
+    emit t ~name:"untrusted_state" (fun () ->
+        [ ("server", Sim.Trace.Int t.server_id) ]);
     t.useq <- 0
   end
 
@@ -594,9 +629,11 @@ let rec run_recovery t ~attempt =
             in
             (match donor with
             | Some d ->
-                tracef t
-                  "dirsvc %d: FORCED recovery from server %d (operator override)"
-                  t.server_id d.Skeen.server;
+                emit t ~name:"forced_recovery" (fun () ->
+                    [
+                      ("server", Sim.Trace.Int t.server_id);
+                      ("donor", Sim.Trace.Int d.Skeen.server);
+                    ]);
                 Skeen.Recover
                   { donor = d.Skeen.server; last_set = Skeen.Int_set.empty }
             | None -> verdict)
@@ -641,15 +678,26 @@ let rec run_recovery t ~attempt =
             t.stayed_up <- true;
             t.forced_recovery <- false;
             write_commit_block t ~recovering:false;
-            tracef t "dirsvc %d: recovered, view=[%s] useq=%d" t.server_id
-              (String.concat ","
-                 (List.map string_of_int (Group.Member.members g)))
-              t.useq
+            emit t ~name:"recovered" (fun () ->
+                [
+                  ("server", Sim.Trace.Int t.server_id);
+                  ( "view",
+                    Sim.Trace.Str
+                      (String.concat ","
+                         (List.map string_of_int (Group.Member.members g))) );
+                  ("useq", Sim.Trace.Int t.useq);
+                ])
           end
       | Skeen.Wait_for missing ->
-          tracef t "dirsvc %d: waiting for last set [%s]" t.server_id
-            (String.concat ","
-               (List.map string_of_int (Skeen.Int_set.elements missing)));
+          emit t ~name:"wait_last_set" (fun () ->
+              [
+                ("server", Sim.Trace.Int t.server_id);
+                ( "missing",
+                  Sim.Trace.Str
+                    (String.concat ","
+                       (List.map string_of_int
+                          (Skeen.Int_set.elements missing))) );
+              ]);
           if tries > 6 then run_recovery t ~attempt:(attempt + 1)
           else begin
             Sim.Proc.sleep 60.0;

@@ -1,5 +1,7 @@
 type t = {
   params : Params.t;
+  metrics : Sim.Metrics.t option;
+  engine : Sim.Engine.t;
   node : Sim.Node.t;
   device : Storage.Block_device.t;
   port : string;
@@ -64,33 +66,60 @@ let handle_read t serve =
   Sim.Resource.use t.cpu t.params.Params.nfs_cpu_read_ms;
   serve t.store
 
+let timed_op t ~op f =
+  let started = Sim.Engine.now t.engine in
+  let reply = f () in
+  let elapsed = Sim.Engine.now t.engine -. started in
+  (match t.metrics with
+  | Some m ->
+      Sim.Metrics.observe_hist m "dirsvc.op_ms"
+        ~labels:[ ("op", op); ("server", "nfs") ]
+        elapsed
+  | None -> ());
+  Sim.Engine.emit t.engine ~subsystem:"dirsvc" ~node:(Sim.Node.id t.node)
+    ~name:"op" (fun () ->
+      [
+        ("op", Sim.Trace.Str op);
+        ("server", Sim.Trace.Str "nfs");
+        ("latency_ms", Sim.Trace.Float elapsed);
+        ( "status",
+          Sim.Trace.Str
+            (match reply with Wire.Err_rep _ -> "err" | _ -> "ok") );
+      ]);
+  reply
+
 let client_handler t ~client:_ body =
   match body with
-  | Wire.Dir_request (Wire.Write_op op) -> Wire.Dir_reply (handle_write t op)
+  | Wire.Dir_request (Wire.Write_op op) ->
+      Wire.Dir_reply
+        (timed_op t ~op:(Directory.op_kind op) (fun () -> handle_write t op))
   | Wire.Dir_request (Wire.List_req { cap; column }) ->
       Wire.Dir_reply
-        (handle_read t (fun store ->
-             match Directory.list_dir store ~cap ~column with
-             | Ok listing -> Wire.Listing_rep listing
-             | Error e -> Wire.Err_rep (Wire.Op_error e)))
+        (timed_op t ~op:"list" (fun () ->
+             handle_read t (fun store ->
+                 match Directory.list_dir store ~cap ~column with
+                 | Ok listing -> Wire.Listing_rep listing
+                 | Error e -> Wire.Err_rep (Wire.Op_error e))))
   | Wire.Dir_request (Wire.Lookup_req { items; column }) ->
       Wire.Dir_reply
-        (handle_read t (fun store ->
-             let resolve (cap, name) =
-               match Directory.lookup store ~cap ~name ~column with
-               | Ok (cap, mask) -> Some (cap, mask)
-               | Error _ -> None
-             in
-             Wire.Lookup_rep (List.map resolve items)))
+        (timed_op t ~op:"lookup" (fun () ->
+             handle_read t (fun store ->
+                 let resolve (cap, name) =
+                   match Directory.lookup store ~cap ~name ~column with
+                   | Ok (cap, mask) -> Some (cap, mask)
+                   | Error _ -> None
+                 in
+                 Wire.Lookup_rep (List.map resolve items))))
   | _ -> Wire.Dir_reply (Wire.Err_rep (Wire.Unavailable "bad request"))
 
 let start ~params ?metrics net ~node ~device ~port () =
-  ignore metrics;
   let nic = Simnet.Network.attach net node in
   let transport = Rpc.Transport.create net nic in
   let t =
     {
       params;
+      metrics;
+      engine = Simnet.Network.engine net;
       node;
       device;
       port;

@@ -1,5 +1,6 @@
 type t = {
   params : Params.t;
+  metrics : Sim.Metrics.t option;
   net : Simnet.Network.t;
   node : Sim.Node.t;
   transport : Rpc.Transport.t;
@@ -229,24 +230,54 @@ let handle_read t serve =
   Sim.Resource.use t.cpu t.params.Params.cpu_read_ms;
   serve t.store
 
+(* Same observability contract as the group server: the per-op latency
+   histogram ["dirsvc.op_ms"] labelled by server and op kind, plus one
+   "dirsvc" trace event per request. *)
+let timed_op t ~op f =
+  let engine = Simnet.Network.engine t.net in
+  let started = Sim.Engine.now engine in
+  let reply = f () in
+  let elapsed = Sim.Engine.now engine -. started in
+  (match t.metrics with
+  | Some m ->
+      Sim.Metrics.observe_hist m "dirsvc.op_ms"
+        ~labels:[ ("op", op); ("server", string_of_int t.server_id) ]
+        elapsed
+  | None -> ());
+  Sim.Engine.emit engine ~subsystem:"dirsvc" ~node:(Sim.Node.id t.node)
+    ~name:"op" (fun () ->
+      [
+        ("op", Sim.Trace.Str op);
+        ("server", Sim.Trace.Int t.server_id);
+        ("latency_ms", Sim.Trace.Float elapsed);
+        ( "status",
+          Sim.Trace.Str
+            (match reply with Wire.Err_rep _ -> "err" | _ -> "ok") );
+      ]);
+  reply
+
 let client_handler t ~client:_ body =
   match body with
-  | Wire.Dir_request (Wire.Write_op op) -> Wire.Dir_reply (handle_write t op)
+  | Wire.Dir_request (Wire.Write_op op) ->
+      Wire.Dir_reply
+        (timed_op t ~op:(Directory.op_kind op) (fun () -> handle_write t op))
   | Wire.Dir_request (Wire.List_req { cap; column }) ->
       Wire.Dir_reply
-        (handle_read t (fun store ->
-             match Directory.list_dir store ~cap ~column with
-             | Ok listing -> Wire.Listing_rep listing
-             | Error e -> Wire.Err_rep (Wire.Op_error e)))
+        (timed_op t ~op:"list" (fun () ->
+             handle_read t (fun store ->
+                 match Directory.list_dir store ~cap ~column with
+                 | Ok listing -> Wire.Listing_rep listing
+                 | Error e -> Wire.Err_rep (Wire.Op_error e))))
   | Wire.Dir_request (Wire.Lookup_req { items; column }) ->
       Wire.Dir_reply
-        (handle_read t (fun store ->
-             let resolve (cap, name) =
-               match Directory.lookup store ~cap ~name ~column with
-               | Ok (cap, mask) -> Some (cap, mask)
-               | Error _ -> None
-             in
-             Wire.Lookup_rep (List.map resolve items)))
+        (timed_op t ~op:"lookup" (fun () ->
+             handle_read t (fun store ->
+                 let resolve (cap, name) =
+                   match Directory.lookup store ~cap ~name ~column with
+                   | Ok (cap, mask) -> Some (cap, mask)
+                   | Error _ -> None
+                 in
+                 Wire.Lookup_rep (List.map resolve items))))
   | _ -> Wire.Dir_reply (Wire.Err_rep (Wire.Unavailable "bad request"))
 
 let admin_handler t ~client:_ body =
@@ -281,7 +312,6 @@ let load_disk_state t =
 
 let start ~params ?metrics net ~server_id ~peer_node ~node ~device
     ~intent_device ~bullet_port ~port () =
-  ignore metrics;
   let nic = Simnet.Network.attach net node in
   (* Server-to-server calls (Bullet commits, recovery fetches) must ride
      out disk backlogs without spurious retries. *)
@@ -296,6 +326,7 @@ let start ~params ?metrics net ~server_id ~peer_node ~node ~device
   let t =
     {
       params;
+      metrics;
       net;
       node;
       transport;

@@ -25,7 +25,6 @@ type t = {
   deliver_q : item Sim.Mailbox.t;
   changed : Sim.Condvar.t; (* broadcast on advance / status change *)
   (* Sender state. *)
-  mutable next_uid : int;
   pending_sends : (int, unit Sim.Ivar.t) Hashtbl.t; (* uid -> done *)
   (* Sequencer state (only meaningful while me = sequencer). *)
   mutable seq_next : int;
@@ -53,24 +52,19 @@ type t = {
   mutable reset_collect_view : int option;
 }
 
-let instance_counter = ref 0
-
-let fresh_instance me =
-  incr instance_counter;
-  (me * 10_000) + !instance_counter
-
-(* Uids must be unique across member incarnations on the same node: the
-   sequencer deduplicates (origin, uid), so a restarted member reusing an
-   old uid would be handed the original answer — e.g. a join grant with a
-   long-gone base, making it re-execute history. *)
-let uid_counter = ref 0
+(* Instance and message ids come from the engine's per-run counter, not
+   module-level refs: a global counter carries state from one simulation
+   into the next within the same process, so two same-seed runs would
+   produce different ids (and different traces). *)
+let fresh_instance t = (t.me * 10_000) + Sim.Engine.fresh_id t.engine
 
 let count t key =
   match t.metrics with None -> () | Some m -> Sim.Metrics.incr m key
 
 let now t = Sim.Engine.now t.engine
 
-let tracef t fmt = Sim.Engine.tracef t.engine fmt
+let emit t ~name attrs =
+  Sim.Engine.emit t.engine ~subsystem:"grp" ~node:t.me ~name attrs
 
 let gname t = t.gname
 
@@ -112,7 +106,8 @@ let fail_pending_sends t reason =
 
 let declare_broken t ~notify_peers reason =
   if t.status = Normal then begin
-    tracef t "grp %s@%d: broken (%s)" t.gname t.me reason;
+    emit t ~name:"broken" (fun () ->
+        [ ("gname", Sim.Trace.Str t.gname); ("reason", Sim.Trace.Str reason) ]);
     t.status <- Broken;
     fail_pending_sends t reason;
     Sim.Mailbox.send t.deliver_q (Failed reason);
@@ -170,6 +165,19 @@ let record_ack t ~member ~have_upto =
 (* ---- Delivery --------------------------------------------------- *)
 
 let deliver_entry t seqno (entry : Wire.entry) =
+  emit t ~name:"deliver" (fun () ->
+      let kind, origin =
+        match entry with
+        | Wire.App { origin; _ } -> ("app", origin)
+        | Wire.Join_member m -> ("join", m)
+        | Wire.Leave_member m -> ("leave", m)
+      in
+      [
+        ("gname", Sim.Trace.Str t.gname);
+        ("seqno", Sim.Trace.Int seqno);
+        ("kind", Sim.Trace.Str kind);
+        ("origin", Sim.Trace.Int origin);
+      ]);
   match entry with
   | Wire.App { origin; payload; _ } ->
       Sim.Mailbox.send t.deliver_q (Delivery (Msg { seqno; origin; payload }))
@@ -239,6 +247,12 @@ let request_retrans t =
     && now t -. t.last_retrans_req > 4.0
   then begin
     t.last_retrans_req <- now t;
+    emit t ~name:"retrans.req" (fun () ->
+        [
+          ("gname", Sim.Trace.Str t.gname);
+          ("from", Sim.Trace.Int (t.contig + 1));
+          ("highest_seen", Sim.Trace.Int t.highest_seen);
+        ]);
     unicast t ~dst:t.sequencer "grp.retrans"
       (Wire.Retrans
          { gname = t.gname; epoch = t.epoch; member = t.me; from = t.contig + 1 })
@@ -257,6 +271,8 @@ let assign_and_multicast t entry =
   let seqno = t.seq_next in
   t.seq_next <- seqno + 1;
   t.last_data_sent <- now t;
+  emit t ~name:"assign" (fun () ->
+      [ ("gname", Sim.Trace.Str t.gname); ("seqno", Sim.Trace.Int seqno) ]);
   (* The sequencer is the authoritative history: record the entry before
      anything else so retransmission can always serve it, then deliver it
      locally right away (the loopback copy becomes a harmless duplicate). *)
@@ -344,6 +360,14 @@ let handle_join_req t ~joiner ~uid =
 
 let handle_retrans t ~member ~from =
   let upto = min (from + t.config.retrans_batch - 1) (t.seq_next - 1) in
+  count t "grp.retrans.served";
+  emit t ~name:"retrans" (fun () ->
+      [
+        ("gname", Sim.Trace.Str t.gname);
+        ("member", Sim.Trace.Int member);
+        ("from", Sim.Trace.Int from);
+        ("upto", Sim.Trace.Int upto);
+      ]);
   for seqno = from to upto do
     match Hashtbl.find_opt t.store seqno with
     | Some entry ->
@@ -443,9 +467,16 @@ let apply_reset_commit t ~epoch ~members:new_members ~sequencer ~base ~patch =
         new_members
     end;
     Sim.Condvar.broadcast t.changed;
-    tracef t "grp %s@%d: new view %a members=[%s]" t.gname t.me Types.pp_epoch
-      epoch
-      (String.concat "," (List.map string_of_int new_members))
+    emit t ~name:"view" (fun () ->
+        [
+          ("gname", Sim.Trace.Str t.gname);
+          ("instance", Sim.Trace.Int epoch.instance);
+          ("view", Sim.Trace.Int epoch.view);
+          ("sequencer", Sim.Trace.Int sequencer);
+          ( "members",
+            Sim.Trace.Str
+              (String.concat "," (List.map string_of_int new_members)) );
+        ])
   end
 
 let reset t =
@@ -676,7 +707,6 @@ let make ?metrics ?(config = Types.default_config) net nic ~gname =
       highest_seen = 0;
       deliver_q = Sim.Mailbox.create ~name:(gname ^ ".deliver") ();
       changed = Sim.Condvar.create ();
-      next_uid = 0;
       pending_sends = Hashtbl.create 8;
       seq_next = 1;
       acked = Hashtbl.create 8;
@@ -708,7 +738,7 @@ let make ?metrics ?(config = Types.default_config) net nic ~gname =
 
 let create_group ?metrics ?config net nic ~gname =
   let t = make ?metrics ?config net nic ~gname in
-  t.epoch <- { instance = fresh_instance t.me; view = 1 };
+  t.epoch <- { instance = fresh_instance t; view = 1 };
   t.members <- [ t.me ];
   t.sequencer <- t.me;
   t.status <- Normal;
@@ -717,10 +747,12 @@ let create_group ?metrics ?config net nic ~gname =
   Hashtbl.replace t.last_heard t.me (Sim.Engine.now (Simnet.Network.engine net));
   t
 
-let fresh_uid t =
-  t.next_uid <- t.next_uid + 1;
-  incr uid_counter;
-  (t.me * 100_000_000) + !uid_counter
+(* Uids must be unique across member incarnations on the same node: the
+   sequencer deduplicates (origin, uid), so a restarted member reusing an
+   old uid would be handed the original answer — e.g. a join grant with a
+   long-gone base, making it re-execute history. The engine counter is
+   shared by every incarnation in a run, which gives exactly that. *)
+let fresh_uid t = (t.me * 100_000_000) + Sim.Engine.fresh_id t.engine
 
 let join_group ?metrics ?config net nic ~gname =
   let t = make ?metrics ?config net nic ~gname in
@@ -776,6 +808,16 @@ let send t ?size payload =
     raise (Group_failure ("send while " ^ Types.status_to_string t.status));
   let uid = fresh_uid t in
   let epoch0 = t.epoch in
+  let started = now t in
+  let meth =
+    match t.config.dissemination with Types.Pb -> "pb" | Types.Bb -> "bb"
+  in
+  emit t ~name:"send" (fun () ->
+      [
+        ("gname", Sim.Trace.Str t.gname);
+        ("uid", Sim.Trace.Int uid);
+        ("method", Sim.Trace.Str meth);
+      ]);
   let rec attempt n =
     if t.status <> Normal || Types.epoch_compare t.epoch epoch0 <> 0 then
       raise (Group_failure "group changed during send");
@@ -800,9 +842,30 @@ let send t ?size payload =
              (Wire.Bb_body
                 { gname = t.gname; epoch = t.epoch; origin = t.me; uid; payload }));
     match Sim.Ivar.read ~timeout:t.config.send_timeout ivar with
-    | () -> ()
+    | () ->
+        let wait = now t -. started in
+        (match t.metrics with
+        | Some m ->
+            Sim.Metrics.observe_hist m "grp.send_ms"
+              ~labels:[ ("method", meth) ]
+              wait
+        | None -> ());
+        emit t ~name:"send.done" (fun () ->
+            [
+              ("gname", Sim.Trace.Str t.gname);
+              ("uid", Sim.Trace.Int uid);
+              ("wait_ms", Sim.Trace.Float wait);
+              ("attempts", Sim.Trace.Int n);
+            ])
     | exception Sim.Proc.Timeout ->
         Hashtbl.remove t.pending_sends uid;
+        count t "grp.send.retry";
+        emit t ~name:"send.retry" (fun () ->
+            [
+              ("gname", Sim.Trace.Str t.gname);
+              ("uid", Sim.Trace.Int uid);
+              ("attempt", Sim.Trace.Int n);
+            ]);
         attempt (n + 1)
   in
   ignore size;

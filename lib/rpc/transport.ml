@@ -151,16 +151,30 @@ let drop_cached t ~port server =
 (* Broadcast a locate and collect HEREIS answers for [locate_window] ms.
    The cache keeps responders in arrival order; the client always tries
    the first one — the paper's "first server that replied" heuristic. *)
+let emit t ~name attrs =
+  Sim.Engine.emit (Simnet.Network.engine t.net) ~subsystem:"rpc"
+    ~node:t.node_id ~name attrs
+
 let locate t ~port =
   let xid = fresh_xid t in
   let responders = ref [] in
   Hashtbl.replace t.locates xid responders;
+  emit t ~name:"locate" (fun () ->
+      [ ("port", Sim.Trace.Str port); ("xid", Sim.Trace.Int xid) ]);
   Simnet.Network.multicast t.net t.nic ~proto:Wire.proto
     (Wire.Locate { port; xid; client = t.node_id });
   Sim.Proc.sleep t.config.locate_window;
   Hashtbl.remove t.locates xid;
   let in_arrival_order = List.rev !responders in
   Hashtbl.replace t.port_cache port (ref in_arrival_order);
+  emit t ~name:"locate.done" (fun () ->
+      [
+        ("port", Sim.Trace.Str port);
+        ("xid", Sim.Trace.Int xid);
+        ( "servers",
+          Sim.Trace.Str
+            (String.concat "," (List.map string_of_int in_arrival_order)) );
+      ]);
   in_arrival_order
 
 let ensure_located t ~port =
@@ -182,6 +196,7 @@ let trans t ~port ?timeout ?(size = 128) body =
   let timeout =
     match timeout with Some d -> d | None -> t.config.trans_timeout
   in
+  let started = Sim.Engine.now (Simnet.Network.engine t.net) in
   let rec attempt n =
     if n > t.config.max_attempts then
       raise (Rpc_failure (Printf.sprintf "service %s: no reply" port));
@@ -191,16 +206,48 @@ let trans t ~port ?timeout ?(size = 128) body =
         let xid = fresh_xid t in
         let ivar = Sim.Ivar.create () in
         Hashtbl.replace t.pending xid ivar;
+        emit t ~name:"trans" (fun () ->
+            [
+              ("port", Sim.Trace.Str port);
+              ("xid", Sim.Trace.Int xid);
+              ("server", Sim.Trace.Int server);
+              ("attempt", Sim.Trace.Int n);
+              ("size", Sim.Trace.Int size);
+            ]);
         Simnet.Network.send t.net t.nic ~dst:server ~proto:Wire.proto ~size
           (Wire.Request { port; xid; client = t.node_id; body });
         match Sim.Ivar.read ~timeout ivar with
-        | Got_reply reply -> reply
+        | Got_reply reply ->
+            emit t ~name:"trans.done" (fun () ->
+                [
+                  ("port", Sim.Trace.Str port);
+                  ("xid", Sim.Trace.Int xid);
+                  ("server", Sim.Trace.Int server);
+                  ("attempts", Sim.Trace.Int n);
+                  ( "latency_ms",
+                    Sim.Trace.Float
+                      (Sim.Engine.now (Simnet.Network.engine t.net) -. started)
+                  );
+                ]);
+            reply
         | Bounced ->
             (* NOTHERE: the server was busy; try the next cached one. *)
+            emit t ~name:"trans.bounce" (fun () ->
+                [
+                  ("port", Sim.Trace.Str port);
+                  ("xid", Sim.Trace.Int xid);
+                  ("server", Sim.Trace.Int server);
+                ]);
             drop_cached t ~port server;
             attempt (n + 1)
         | exception Sim.Proc.Timeout ->
             Hashtbl.remove t.pending xid;
+            emit t ~name:"trans.timeout" (fun () ->
+                [
+                  ("port", Sim.Trace.Str port);
+                  ("xid", Sim.Trace.Int xid);
+                  ("server", Sim.Trace.Int server);
+                ]);
             drop_cached t ~port server;
             attempt (n + 1))
   in

@@ -5,7 +5,8 @@ type t = {
   rng : Rng.t;
   mutable stop_requested : bool;
   mutable events_executed : int;
-  mutable tracer : (float -> string -> unit) option;
+  mutable trace : Trace.t option;
+  mutable next_id : int;
 }
 
 exception Stopped
@@ -18,10 +19,19 @@ let create ?(seed = 0x12345678L) () =
     rng = Rng.create seed;
     stop_requested = false;
     events_executed = 0;
-    tracer = None;
+    trace = None;
+    next_id = 0;
   }
 
 let now t = t.now
+
+(* Monotonic per-engine ids. Protocol layers needing unique instance or
+   message ids must draw them here, not from module-level refs: global
+   counters survive from one simulation to the next in the same process
+   and break the same-seed => same-trace guarantee. *)
+let fresh_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
 
 let rng t = t.rng
 
@@ -34,16 +44,18 @@ let stop t = t.stop_requested <- true
 
 let events_executed t = t.events_executed
 
-let set_tracer t tracer = t.tracer <- tracer
+let set_trace t trace = t.trace <- trace
 
-let trace t message =
-  match t.tracer with None -> () | Some tracer -> tracer t.now message
+let trace_buffer t = t.trace
 
-let tracef t fmt =
-  match t.tracer with
-  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
-  | Some tracer ->
-      Format.kasprintf (fun message -> tracer t.now message) fmt
+let tracing t = t.trace <> None
+
+(* [attrs] is a thunk so that instrumented hot paths pay nothing beyond
+   a closure when tracing is off. *)
+let emit t ~subsystem ~node ~name attrs =
+  match t.trace with
+  | None -> ()
+  | Some trace -> Trace.emit trace ~time:t.now ~subsystem ~node ~name (attrs ())
 
 let run ?until t =
   t.stop_requested <- false;

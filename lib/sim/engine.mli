@@ -17,6 +17,12 @@ val now : t -> float
 (** The engine's root random stream (split it rather than sharing it). *)
 val rng : t -> Rng.t
 
+(** Monotonic per-engine id source (1, 2, 3, …). Protocol layers that
+    need unique instance or message ids must draw them here rather than
+    from module-level counters, which leak state between simulations in
+    the same process and break same-seed determinism. *)
+val fresh_id : t -> int
+
 (** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be
     non-negative. *)
 val schedule : t -> delay:float -> (unit -> unit) -> unit
@@ -32,11 +38,21 @@ val stop : t -> unit
 (** Number of events executed so far (for tests and reporting). *)
 val events_executed : t -> int
 
-(** Optional trace hook, called as [tracer time message] by [trace]. *)
-val set_tracer : t -> (float -> string -> unit) option -> unit
+(** Optional structured trace buffer (see {!Trace}). [None] disables
+    tracing; instrumented code pays only a closure allocation then. *)
+val set_trace : t -> Trace.t option -> unit
 
-val trace : t -> string -> unit
+val trace_buffer : t -> Trace.t option
 
-(** [tracef t fmt ...] formats lazily: the format arguments are only
-    rendered when a tracer is installed. *)
-val tracef : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val tracing : t -> bool
+
+(** [emit t ~subsystem ~node ~name attrs] records a trace event stamped
+    with the current virtual time. [attrs] is a thunk, forced only when
+    a trace buffer is installed — keep attribute construction inside it. *)
+val emit :
+  t ->
+  subsystem:string ->
+  node:int ->
+  name:string ->
+  (unit -> (string * Trace.attr) list) ->
+  unit

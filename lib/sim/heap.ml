@@ -1,6 +1,9 @@
 type 'a entry = { time : float; seq : int; value : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+(* Slots at index >= size must be [None]: the heap must not retain a
+   popped entry (its value may be a closure over a large object graph,
+   and simulations pop millions of events per run). *)
+type 'a t = { mutable data : 'a entry option array; mutable size : int }
 
 let create () = { data = [||]; size = 0 }
 
@@ -10,11 +13,14 @@ let is_empty h = h.size = 0
 
 let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow h entry =
+let get h i =
+  match h.data.(i) with Some e -> e | None -> assert false
+
+let grow h =
   let capacity = Array.length h.data in
   if h.size = capacity then begin
     let new_capacity = if capacity = 0 then 16 else capacity * 2 in
-    let data = Array.make new_capacity entry in
+    let data = Array.make new_capacity None in
     Array.blit h.data 0 data 0 h.size;
     h.data <- data
   end
@@ -22,7 +28,7 @@ let grow h entry =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_lt h.data.(i) h.data.(parent) then begin
+    if entry_lt (get h i) (get h parent) then begin
       let tmp = h.data.(i) in
       h.data.(i) <- h.data.(parent);
       h.data.(parent) <- tmp;
@@ -33,9 +39,9 @@ let rec sift_up h i =
 let rec sift_down h i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < h.size && entry_lt h.data.(left) h.data.(!smallest) then
+  if left < h.size && entry_lt (get h left) (get h !smallest) then
     smallest := left;
-  if right < h.size && entry_lt h.data.(right) h.data.(!smallest) then
+  if right < h.size && entry_lt (get h right) (get h !smallest) then
     smallest := right;
   if !smallest <> i then begin
     let tmp = h.data.(i) in
@@ -45,26 +51,27 @@ let rec sift_down h i =
   end
 
 let push h ~time ~seq value =
-  let entry = { time; seq; value } in
-  grow h entry;
-  h.data.(h.size) <- entry;
+  grow h;
+  h.data.(h.size) <- Some { time; seq; value };
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
 let pop_min h =
   if h.size = 0 then None
   else begin
-    let min = h.data.(0) in
+    let min = get h 0 in
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
+      h.data.(h.size) <- None;
       sift_down h 0
-    end;
+    end
+    else h.data.(0) <- None;
     Some (min.time, min.seq, min.value)
   end
 
 let peek_min h =
   if h.size = 0 then None
   else
-    let min = h.data.(0) in
+    let min = get h 0 in
     Some (min.time, min.seq, min.value)

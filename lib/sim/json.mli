@@ -1,0 +1,33 @@
+(** Minimal JSON values: enough for bench export ([BENCH_*.json]) and
+    JSONL trace files, with a parser for round-trip tests. No external
+    dependency — the container has no yojson. *)
+
+exception Parse_error of string
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact single-line rendering. NaN and infinities render as [null]
+    (JSON has no representation for them). *)
+val to_string : t -> string
+
+(** Indented rendering, for files meant to be read by humans. *)
+val to_string_pretty : t -> string
+
+(** Parse one JSON document. Raises {!Parse_error} on malformed input
+    or trailing garbage. *)
+val of_string : string -> t
+
+val member : string -> t -> t option
+
+val to_float : t -> float option
+
+val to_int : t -> int option
+
+val to_str : t -> string option

@@ -1,8 +1,69 @@
-(** Named counters and sample collections for experiments.
+(** Named counters, sample collections and latency histograms.
 
     The benches rebuild the paper's §3.1 cost analysis (messages and disk
     operations per directory update) from these counters, and the figure
-    harnesses aggregate latency samples recorded here. *)
+    harnesses aggregate latency distributions recorded here. Histograms
+    use fixed buckets, so memory stays constant no matter how many
+    operations a run performs. *)
+
+(** Fixed-bucket latency histogram. Observations are assigned to
+    log-spaced buckets; quantiles are estimated by linear interpolation
+    within the bucket that holds the requested rank. No per-sample data
+    is retained. *)
+module Histogram : sig
+  type t
+
+  (** Default bucket upper bounds, in milliseconds: 0.05 .. 10000,
+      roughly log-spaced, plus an implicit overflow bucket. *)
+  val default_bounds : float array
+
+  (** [create ?bounds ()] — [bounds] must be strictly increasing upper
+      bounds. Raises [Invalid_argument] otherwise. *)
+  val create : ?bounds:float array -> unit -> t
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  (** [nan] when empty. *)
+  val mean : t -> float
+
+  val min_value : t -> float
+
+  val max_value : t -> float
+
+  (** [quantile t q] with [q] in [0, 1]. Interpolated within the bucket,
+      clamped to the observed min/max; [nan] when empty. *)
+  val quantile : t -> float -> float
+
+  (** Non-empty buckets as [(lower, upper, count)], ascending;
+      the overflow bucket's upper bound is [infinity]. *)
+  val buckets : t -> (float * float * int) list
+
+  (** Accumulate [t] into [into]. Both must share bucket boundaries. *)
+  val merge_into : into:t -> t -> unit
+
+  (** [{n; mean; min; max; p50; p90; p95; p99}] — just [{n = 0}] when
+      empty. *)
+  val summary_to_json : t -> Json.t
+
+  (** [summary_to_json] plus the per-bucket counts. *)
+  val to_json : t -> Json.t
+end
+
+(** [labelled key ~labels] canonicalises labels into the key:
+    [labelled "op_ms" ~labels:[("server", "2"); ("op", "write")]] is
+    ["op_ms{op=write,server=2}"] (labels sorted by name). An empty label
+    list returns the key unchanged. *)
+val labelled : string -> labels:(string * string) list -> string
+
+(** Key without its label suffix. *)
+val base_key : string -> string
+
+(** Parsed label pairs of a canonical key ([[]] when unlabelled). *)
+val labels_of_key : string -> (string * string) list
 
 type t
 
@@ -12,21 +73,43 @@ val create : unit -> t
 
 val incr : ?by:int -> t -> string -> unit
 
+(** [incr] on [labelled key ~labels]. *)
+val incr_labelled : ?by:int -> t -> string -> labels:(string * string) list -> unit
+
 val count : t -> string -> int
 
 (** All counters, sorted by name. *)
 val counters : t -> (string * int) list
 
-(** [delta ~before ~after] is the per-counter difference; counters absent
-    in [before] count from zero. *)
+(** [delta ~before ~after] is the per-counter difference over the union
+    of both key sets: counters absent in [before] count from zero, and
+    counters present only in [before] yield negative deltas. Zero deltas
+    are omitted. *)
 val delta : before:(string * int) list -> after:(string * int) list -> (string * int) list
 
-(** Samples (e.g. latencies). *)
+(** Samples (exact values, retained; prefer histograms on hot paths). *)
 
 val observe : t -> string -> float -> unit
 
 val samples : t -> string -> float list
 
+(** O(1). *)
 val sample_count : t -> string -> int
 
+(** Histograms. *)
+
+(** [observe_hist t key v] records [v] into the histogram named
+    [labelled key ~labels], creating it (with [bounds]) on first use.
+    [bounds] only takes effect at creation. *)
+val observe_hist :
+  ?bounds:float array -> ?labels:(string * string) list -> t -> string -> float -> unit
+
+val histogram : t -> string -> Histogram.t option
+
+(** All histograms, sorted by name. *)
+val histograms : t -> (string * Histogram.t) list
+
 val reset : t -> unit
+
+(** Counters and histogram summaries as one JSON object. *)
+val to_json : t -> Json.t

@@ -157,7 +157,14 @@ let send t nic ~dst ~proto ?(size = 64) payload =
     let packet =
       { Packet.src = Sim.Node.id nic.node; dst = Unicast dst; proto; payload; size }
     in
-    Sim.Engine.tracef t.engine "net: %a" Packet.pp packet;
+    Sim.Engine.emit t.engine ~subsystem:"net" ~node:packet.src ~name:"send"
+      (fun () ->
+        [
+          ("dst", Sim.Trace.Int dst);
+          ("proto", Sim.Trace.Str proto);
+          ("size", Sim.Trace.Int size);
+          ("payload", Sim.Trace.Str (Payload.to_string payload));
+        ]);
     count t "net.pkt";
     count t ("net.pkt." ^ proto);
     match apply_fault_filter t packet with
@@ -170,7 +177,13 @@ let multicast t nic ~proto ?(size = 64) payload =
   if nic_is_live t nic then begin
     let src = Sim.Node.id nic.node in
     let packet = { Packet.src; dst = Multicast; proto; payload; size } in
-    Sim.Engine.tracef t.engine "net: %a" Packet.pp packet;
+    Sim.Engine.emit t.engine ~subsystem:"net" ~node:src ~name:"mcast"
+      (fun () ->
+        [
+          ("proto", Sim.Trace.Str proto);
+          ("size", Sim.Trace.Int size);
+          ("payload", Sim.Trace.Str (Payload.to_string payload));
+        ]);
     (* Ethernet multicast: one packet on the wire regardless of the
        number of receivers — this is what makes SendToGroup cheap. *)
     count t "net.pkt";

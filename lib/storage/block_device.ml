@@ -59,9 +59,30 @@ let submit t ~latency action =
 let count t key =
   match t.metrics with None -> () | Some m -> Sim.Metrics.incr m key
 
+(* [queue_ms] at emit time = how long the op will wait behind the arm. *)
+let emit_op t ~name ~block ~latency =
+  Sim.Engine.emit t.engine ~subsystem:"storage" ~node:(-1) ~name (fun () ->
+      [
+        ("dev", Sim.Trace.Str t.name);
+        ("block", Sim.Trace.Int block);
+        ( "queue_ms",
+          Sim.Trace.Float (max 0.0 (t.busy_until -. Sim.Engine.now t.engine))
+        );
+        ("latency_ms", Sim.Trace.Float latency);
+      ])
+
+let observe_hist t key latency =
+  match t.metrics with
+  | None -> ()
+  | Some m ->
+      Sim.Metrics.observe_hist m key ~labels:[ ("dev", t.name) ] latency
+
 let read t i =
   check_index t i;
   count t "disk.read";
+  emit_op t ~name:"disk.read" ~block:i ~latency:t.read_ms;
+  let queued = max 0.0 (t.busy_until -. Sim.Engine.now t.engine) in
+  observe_hist t "disk.read_ms" (queued +. t.read_ms);
   submit t ~latency:t.read_ms (fun () ->
       t.reads_completed <- t.reads_completed + 1;
       Bytes.copy t.data.(i))
@@ -71,6 +92,9 @@ let write t i data =
   if Bytes.length data > t.block_size then
     invalid_arg (Printf.sprintf "%s: write exceeds block size" t.name);
   count t "disk.write";
+  emit_op t ~name:"disk.write" ~block:i ~latency:t.write_ms;
+  let queued = max 0.0 (t.busy_until -. Sim.Engine.now t.engine) in
+  observe_hist t "disk.write_ms" (queued +. t.write_ms);
   let committed = Bytes.copy data in
   submit t ~latency:t.write_ms (fun () ->
       t.writes_completed <- t.writes_completed + 1;

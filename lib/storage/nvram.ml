@@ -1,4 +1,5 @@
 type 'a t = {
+  engine : Sim.Engine.t option;
   capacity : int;
   size_of : 'a -> int;
   write_ms : float;
@@ -6,9 +7,9 @@ type 'a t = {
   mutable used : int;
 }
 
-let create ~capacity ~size_of ~write_ms () =
+let create ?engine ~capacity ~size_of ~write_ms () =
   if capacity <= 0 then invalid_arg "Nvram.create: capacity must be positive";
-  { capacity; size_of; write_ms; records = []; used = 0 }
+  { engine; capacity; size_of; write_ms; records = []; used = 0 }
 
 let capacity t = t.capacity
 
@@ -18,6 +19,12 @@ let length t = List.length t.records
 
 let fill_ratio t = float_of_int t.used /. float_of_int t.capacity
 
+let emit t ~name attrs =
+  match t.engine with
+  | None -> ()
+  | Some engine ->
+      Sim.Engine.emit engine ~subsystem:"storage" ~node:(-1) ~name attrs
+
 let append t r =
   let size = t.size_of r in
   if t.used + size > t.capacity then false
@@ -25,6 +32,12 @@ let append t r =
     Sim.Proc.sleep t.write_ms;
     t.records <- r :: t.records;
     t.used <- t.used + size;
+    emit t ~name:"nvram.append" (fun () ->
+        [
+          ("bytes", Sim.Trace.Int size);
+          ("used", Sim.Trace.Int t.used);
+          ("records", Sim.Trace.Int (List.length t.records));
+        ]);
     true
   end
 
@@ -35,11 +48,19 @@ let remove_if t pred =
     Sim.Proc.sleep t.write_ms;
     t.records <- kept;
     t.used <- t.used - List.fold_left (fun acc r -> acc + t.size_of r) 0 removed;
+    emit t ~name:"nvram.cancel" (fun () ->
+        [
+          ("removed", Sim.Trace.Int (List.length removed));
+          ("used", Sim.Trace.Int t.used);
+        ]);
     List.rev removed
   end
 
 let take_all t =
   let all = List.rev t.records in
+  if all <> [] then
+    emit t ~name:"nvram.flush" (fun () ->
+        [ ("records", Sim.Trace.Int (List.length all)) ]);
   t.records <- [];
   t.used <- 0;
   all

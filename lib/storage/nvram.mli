@@ -11,9 +11,17 @@
 
 type 'a t
 
-(** [create ~capacity ~size_of ~write_ms ()] — [size_of] measures each
-    record's footprint against [capacity] bytes. *)
-val create : capacity:int -> size_of:('a -> int) -> write_ms:float -> unit -> 'a t
+(** [create ?engine ~capacity ~size_of ~write_ms ()] — [size_of]
+    measures each record's footprint against [capacity] bytes. When
+    [engine] is given, appends, annihilations and flushes emit
+    ["storage"] trace events. *)
+val create :
+  ?engine:Sim.Engine.t ->
+  capacity:int ->
+  size_of:('a -> int) ->
+  write_ms:float ->
+  unit ->
+  'a t
 
 val capacity : 'a t -> int
 

@@ -6,6 +6,7 @@ type summary = {
   max : float;
   p50 : float;
   p95 : float;
+  p99 : float;
 }
 
 let mean = function
@@ -22,30 +23,53 @@ let stddev = function
       in
       sqrt (sum_sq /. float_of_int (List.length samples - 1))
 
+(* Nearest-rank on a sorted array. Array indexing instead of List.nth
+   keeps multi-percentile summaries O(n log n) overall, and Float.compare
+   (not polymorphic compare) gives nan a defined order. *)
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) rank))
+
+let sorted_of_samples samples =
+  let sorted = Array.of_list samples in
+  Array.sort Float.compare sorted;
+  sorted
+
 let percentile p = function
   | [] -> invalid_arg "Stats.percentile: empty"
-  | samples ->
-      let sorted = List.sort compare samples in
-      let n = List.length sorted in
-      let rank =
-        int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1
-      in
-      List.nth sorted (max 0 (min (n - 1) rank))
+  | samples -> percentile_sorted (sorted_of_samples samples) p
 
 let summarise samples =
   match samples with
   | [] -> invalid_arg "Stats.summarise: empty"
   | _ ->
+      let sorted = sorted_of_samples samples in
       {
-        n = List.length samples;
+        n = Array.length sorted;
         mean = mean samples;
         stddev = stddev samples;
-        min = List.fold_left min infinity samples;
-        max = List.fold_left max neg_infinity samples;
-        p50 = percentile 50.0 samples;
-        p95 = percentile 95.0 samples;
+        min = sorted.(0);
+        max = sorted.(Array.length sorted - 1);
+        p50 = percentile_sorted sorted 50.0;
+        p95 = percentile_sorted sorted 95.0;
+        p99 = percentile_sorted sorted 99.0;
       }
 
 let pp_summary fmt s =
-  Format.fprintf fmt "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f"
-    s.n s.mean s.stddev s.min s.p50 s.p95 s.max
+  Format.fprintf fmt
+    "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f" s.n
+    s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max
+
+let summary_to_json s =
+  Sim.Json.Obj
+    [
+      ("n", Sim.Json.Int s.n);
+      ("mean", Sim.Json.Float s.mean);
+      ("stddev", Sim.Json.Float s.stddev);
+      ("min", Sim.Json.Float s.min);
+      ("max", Sim.Json.Float s.max);
+      ("p50", Sim.Json.Float s.p50);
+      ("p95", Sim.Json.Float s.p95);
+      ("p99", Sim.Json.Float s.p99);
+    ]

@@ -8,6 +8,7 @@ type summary = {
   max : float;
   p50 : float;
   p95 : float;
+  p99 : float;
 }
 
 (** Raises [Invalid_argument] on the empty list. *)
@@ -21,3 +22,5 @@ val stddev : float list -> float
 val percentile : float -> float list -> float
 
 val pp_summary : Format.formatter -> summary -> unit
+
+val summary_to_json : summary -> Sim.Json.t

@@ -98,9 +98,10 @@ let lookups ?(warmup = 300.0) ?(window = 2_000.0) cluster ~clients =
   in
   run_window cluster ~warmup ~window ~clients ~setup ~op
 
-let caps_table : (int, Capability.t) Hashtbl.t = Hashtbl.create 16
-
 let append_deletes ?(warmup = 500.0) ?(window = 4_000.0) cluster ~clients =
+  (* Per-run table, not module state: concurrent or repeated runs must
+     not see each other's capabilities. *)
+  let caps_table : (int, Capability.t) Hashtbl.t = Hashtbl.create 16 in
   let setup _cluster = () in
   let op () i client =
     (* Per-client directory: create lazily on first use. *)
@@ -116,7 +117,6 @@ let append_deletes ?(warmup = 500.0) ?(window = 4_000.0) cluster ~clients =
     Dirsvc.Client.append_row client cap ~name [ cap ];
     Dirsvc.Client.delete_row client cap ~name
   in
-  Hashtbl.reset caps_table;
   run_window cluster ~warmup ~window ~clients ~setup ~op
 
 let sweep make_cluster measure points =

@@ -305,6 +305,109 @@ let test_metrics_delta () =
     [ ("a", 1); ("b", 3) ]
     (Sim.Metrics.delta ~before ~after)
 
+(* Regression: a counter that shrank (e.g. the registry was reset between
+   snapshots) must report a negative delta, not silently vanish. *)
+let test_metrics_delta_negative () =
+  let m = Sim.Metrics.create () in
+  Sim.Metrics.incr ~by:5 m "a";
+  Sim.Metrics.incr ~by:2 m "b";
+  let before = Sim.Metrics.counters m in
+  Sim.Metrics.reset m;
+  Sim.Metrics.incr ~by:2 m "a";
+  Sim.Metrics.incr ~by:2 m "b";
+  let after = Sim.Metrics.counters m in
+  Alcotest.(check (list (pair string int)))
+    "shrunk counter is negative, unchanged one omitted"
+    [ ("a", -3) ]
+    (Sim.Metrics.delta ~before ~after)
+
+let test_metrics_sample_count () =
+  let m = Sim.Metrics.create () in
+  for i = 1 to 1000 do
+    Sim.Metrics.observe m "lat" (float_of_int i)
+  done;
+  Alcotest.(check int) "sample_count" 1000 (Sim.Metrics.sample_count m "lat");
+  Alcotest.(check int) "samples agree" 1000
+    (List.length (Sim.Metrics.samples m "lat"));
+  Alcotest.(check int) "missing key" 0 (Sim.Metrics.sample_count m "nope")
+
+let test_histogram_buckets () =
+  let h = Sim.Metrics.Histogram.create ~bounds:[| 1.0; 2.0; 4.0; 8.0 |] () in
+  List.iter
+    (Sim.Metrics.Histogram.observe h)
+    [ 0.5; 1.0; 1.5; 3.0; 6.0; 20.0 ];
+  let show (lower, upper, count) =
+    Printf.sprintf "%g..%g:%d" lower upper count
+  in
+  (* Upper bounds are inclusive: 1.0 lands in the first bucket; 20.0
+     overflows past the last bound. *)
+  Alcotest.(check (list string)) "bucket assignment"
+    [ "0..1:2"; "1..2:1"; "2..4:1"; "4..8:1"; "8..inf:1" ]
+    (List.map show (Sim.Metrics.Histogram.buckets h));
+  Alcotest.(check int) "count" 6 (Sim.Metrics.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "min" 0.5 (Sim.Metrics.Histogram.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 20.0 (Sim.Metrics.Histogram.max_value h)
+
+let test_histogram_quantiles () =
+  let h = Sim.Metrics.Histogram.create () in
+  for i = 1 to 1000 do
+    Sim.Metrics.Histogram.observe h (float_of_int i)
+  done;
+  let q p = Sim.Metrics.Histogram.quantile h p in
+  (* Uniform integers over the default log buckets make the linear
+     interpolation land exactly on the true quantile. *)
+  Alcotest.(check (float 1e-6)) "p50" 500.0 (q 0.5);
+  Alcotest.(check (float 1e-6)) "p99" 990.0 (q 0.99);
+  Alcotest.(check (float 1e-6)) "p0 clamps to observed min" 1.0 (q 0.0);
+  Alcotest.(check (float 1e-6)) "p100 clamps to observed max" 1000.0 (q 1.0);
+  Alcotest.(check (float 1e-6)) "mean" 500.5 (Sim.Metrics.Histogram.mean h);
+  Alcotest.(check bool) "empty histogram answers nan" true
+    (Float.is_nan
+       (Sim.Metrics.Histogram.quantile (Sim.Metrics.Histogram.create ()) 0.5))
+
+let test_histogram_labelled () =
+  let m = Sim.Metrics.create () in
+  Sim.Metrics.observe_hist m "op_ms" ~labels:[ ("server", "2"); ("op", "w") ]
+    4.0;
+  Sim.Metrics.observe_hist m "op_ms" ~labels:[ ("op", "w"); ("server", "2") ]
+    6.0;
+  (* Label order must not matter: both observations hit one histogram
+     under the canonical key. *)
+  match Sim.Metrics.histogram m "op_ms{op=w,server=2}" with
+  | None -> Alcotest.fail "canonical key not found"
+  | Some h ->
+      Alcotest.(check int) "both observations landed" 2
+        (Sim.Metrics.Histogram.count h);
+      Alcotest.(check (list (pair string string))) "labels parse back"
+        [ ("op", "w"); ("server", "2") ]
+        (Sim.Metrics.labels_of_key "op_ms{op=w,server=2}")
+
+(* Regression: pop_min used to leave the popped entry behind in the
+   backing array, keeping every popped value (often a closure over a
+   fiber's continuation) reachable until that slot happened to be
+   overwritten — a space leak in a long-lived event heap. *)
+let test_heap_pop_releases_entries () =
+  let heap = Sim.Heap.create () in
+  let slots = 8 in
+  let weak = Weak.create slots in
+  for i = 0 to slots - 1 do
+    let v = ref (i + 1000) in
+    Weak.set weak i (Some v);
+    Sim.Heap.push heap ~time:(float_of_int i) ~seq:i v
+  done;
+  for _ = 1 to slots do
+    ignore (Sim.Heap.pop_min heap)
+  done;
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to slots - 1 do
+    if Weak.check weak i then incr live
+  done;
+  Alcotest.(check int) "all popped values collectable" 0 !live;
+  (* The heap stays usable after draining. *)
+  Sim.Heap.push heap ~time:1.0 ~seq:1 (ref 0);
+  Alcotest.(check bool) "still usable" true (Sim.Heap.pop_min heap <> None)
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -328,5 +431,11 @@ let suite =
     tc "determinism" `Quick test_determinism;
     tc "rng statistics" `Quick test_rng_statistics;
     QCheck_alcotest.to_alcotest test_heap_property;
+    tc "heap pop releases entries" `Quick test_heap_pop_releases_entries;
     tc "metrics delta" `Quick test_metrics_delta;
+    tc "metrics delta negative" `Quick test_metrics_delta_negative;
+    tc "metrics sample count" `Quick test_metrics_sample_count;
+    tc "histogram buckets" `Quick test_histogram_buckets;
+    tc "histogram quantiles" `Quick test_histogram_quantiles;
+    tc "histogram labelled keys" `Quick test_histogram_labelled;
   ]

@@ -1,0 +1,121 @@
+(* Tests for the structured trace layer: ring-buffer bounds, JSONL
+   round-trips, streaming sinks, and the determinism guarantee (same
+   seed => byte-identical trace). *)
+
+let emit_n trace n =
+  for i = 0 to n - 1 do
+    Sim.Trace.emit trace ~time:(float_of_int i) ~subsystem:"test" ~node:i
+      ~name:"tick"
+      [ ("i", Sim.Trace.Int i) ]
+  done
+
+let test_ring_bounded () =
+  let trace = Sim.Trace.create ~capacity:4 () in
+  emit_n trace 10;
+  Alcotest.(check int) "length capped at capacity" 4 (Sim.Trace.length trace);
+  Alcotest.(check int) "emitted counts everything" 10 (Sim.Trace.emitted trace);
+  Alcotest.(check int) "dropped = emitted - length" 6 (Sim.Trace.dropped trace);
+  let seqs = List.map (fun e -> e.Sim.Trace.seq) (Sim.Trace.events trace) in
+  Alcotest.(check (list int)) "newest events survive, oldest first"
+    [ 6; 7; 8; 9 ] seqs
+
+let test_events_ordered () =
+  let trace = Sim.Trace.create () in
+  emit_n trace 50;
+  let times = List.map (fun e -> e.Sim.Trace.time) (Sim.Trace.events trace) in
+  Alcotest.(check bool) "oldest first" true
+    (times = List.sort Float.compare times);
+  Sim.Trace.clear trace;
+  Alcotest.(check int) "clear empties the ring" 0 (Sim.Trace.length trace)
+
+let test_sink_sees_everything () =
+  let trace = Sim.Trace.create ~capacity:4 () in
+  let seen = ref 0 in
+  Sim.Trace.set_sink trace (Some (fun _ -> incr seen));
+  emit_n trace 10;
+  Alcotest.(check int) "sink saw all events despite ring overflow" 10 !seen
+
+let test_jsonl_round_trip () =
+  let attrs =
+    [
+      ("s", Sim.Trace.Str "hello world");
+      ("i", Sim.Trace.Int (-42));
+      ("f", Sim.Trace.Float 3.25);
+      ("b", Sim.Trace.Bool true);
+    ]
+  in
+  let trace = Sim.Trace.create () in
+  Sim.Trace.emit trace ~time:12.5 ~subsystem:"grp" ~node:2 ~name:"send" attrs;
+  let event = List.hd (Sim.Trace.events trace) in
+  let line = Sim.Trace.event_to_jsonl event in
+  let back = Sim.Trace.event_of_json (Sim.Json.of_string line) in
+  Alcotest.(check bool) "decode inverts encode" true (back = event)
+
+let test_text_rendering () =
+  let trace = Sim.Trace.create () in
+  Sim.Trace.emit trace ~time:1.0 ~subsystem:"rpc" ~node:7 ~name:"trans"
+    [ ("xid", Sim.Trace.Int 3) ];
+  let line = Sim.Trace.event_to_text (List.hd (Sim.Trace.events trace)) in
+  let contains needle =
+    let n = String.length needle and m = String.length line in
+    let rec go i = i + n <= m && (String.sub line i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "subsystem@node shown" true (contains "rpc@7");
+  Alcotest.(check bool) "name shown" true (contains "trans");
+  Alcotest.(check bool) "attrs shown" true (contains "xid=3")
+
+(* Boot a real cluster with a trace installed and return the JSONL of
+   everything emitted while it comes up and serves a few updates. *)
+let traced_run () =
+  let cluster = Dirsvc.Cluster.create ~seed:99L Dirsvc.Cluster.Group_disk in
+  let trace = Sim.Trace.create () in
+  Sim.Engine.set_trace (Dirsvc.Cluster.engine cluster) (Some trace);
+  ignore (Dirsvc.Cluster.await_serving cluster ~count:3);
+  let client = Dirsvc.Cluster.client cluster in
+  let node = Rpc.Transport.node (Dirsvc.Client.transport client) in
+  Sim.Proc.boot (Dirsvc.Cluster.engine cluster) node (fun () ->
+      let cap = Dirsvc.Client.create_dir client ~columns:[ "owner" ] in
+      Dirsvc.Client.append_row client cap ~name:"row" [ cap ];
+      ignore (Dirsvc.Client.lookup client cap "row"));
+  Dirsvc.Cluster.run_until cluster
+    (Sim.Engine.now (Dirsvc.Cluster.engine cluster) +. 2_000.0);
+  Sim.Trace.to_jsonl trace
+
+let test_cluster_emits_events () =
+  let jsonl = traced_run () in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  Alcotest.(check bool) "events were emitted" true (List.length lines > 10);
+  (* Every line parses back into an event, and the hot subsystems all
+     show up: group sends, RPC transactions, disk traffic, server ops. *)
+  let events =
+    List.map (fun l -> Sim.Trace.event_of_json (Sim.Json.of_string l)) lines
+  in
+  let has sub name =
+    List.exists
+      (fun e -> e.Sim.Trace.subsystem = sub && e.Sim.Trace.name = name)
+      events
+  in
+  Alcotest.(check bool) "group send" true (has "grp" "send");
+  Alcotest.(check bool) "group deliver" true (has "grp" "deliver");
+  Alcotest.(check bool) "rpc transaction" true (has "rpc" "trans");
+  Alcotest.(check bool) "disk write" true (has "storage" "disk.write");
+  Alcotest.(check bool) "server op" true (has "dirsvc" "op")
+
+let test_deterministic_jsonl () =
+  let a = traced_run () and b = traced_run () in
+  Alcotest.(check string) "same seed, byte-identical JSONL" a b
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    tc "ring bounded" `Quick test_ring_bounded;
+    tc "events ordered" `Quick test_events_ordered;
+    tc "sink sees everything" `Quick test_sink_sees_everything;
+    tc "jsonl round trip" `Quick test_jsonl_round_trip;
+    tc "text rendering" `Quick test_text_rendering;
+    tc "cluster emits events" `Quick test_cluster_emits_events;
+    tc "deterministic jsonl" `Quick test_deterministic_jsonl;
+  ]

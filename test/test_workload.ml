@@ -20,6 +20,20 @@ let test_stats_percentile () =
   Alcotest.(check (float 1e-9)) "p100" 100.0
     (Workload.Stats.percentile 100.0 samples)
 
+let test_stats_p99 () =
+  let samples = List.init 1000 (fun i -> float_of_int (i + 1)) in
+  let s = Workload.Stats.summarise samples in
+  Alcotest.(check (float 1e-9)) "p99 nearest-rank" 990.0 s.Workload.Stats.p99;
+  Alcotest.(check (float 1e-9)) "percentile agrees" 990.0
+    (Workload.Stats.percentile 99.0 samples);
+  (* The sort must use Float.compare: with polymorphic compare a nan in
+     the samples leaves the array effectively unsorted. Float.compare
+     gives nan a defined place (before every other float), so the result
+     stays deterministic: [nan; 1; ..; 99] and rank 50 lands on 49. *)
+  let with_nan = nan :: List.init 99 (fun i -> float_of_int (i + 1)) in
+  let p50 = Workload.Stats.percentile 50.0 with_nan in
+  Alcotest.(check (float 1e-9)) "nan-tolerant sort" 49.0 p50
+
 let test_stats_empty_raises () =
   Alcotest.check_raises "summarise []" (Invalid_argument "Stats.summarise: empty")
     (fun () -> ignore (Workload.Stats.summarise []))
@@ -104,6 +118,7 @@ let suite =
   [
     tc "stats summary" `Quick test_stats_summary;
     tc "stats percentile" `Quick test_stats_percentile;
+    tc "stats p99" `Quick test_stats_p99;
     tc "stats empty raises" `Quick test_stats_empty_raises;
     QCheck_alcotest.to_alcotest stats_mean_property;
     tc "table render" `Quick test_table_render;
