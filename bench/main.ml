@@ -787,6 +787,140 @@ let mix () =
            ])
        measured)
 
+(* ---- Speed: wall-clock throughput of the simulation core ----------- *)
+
+(* Unlike every experiment above, this one measures {e real} time: how
+   many engine events and wire packets the simulator grinds through per
+   wall-clock second, and how much it allocates per simulated operation.
+   Simulated-time results are identical across optimization PRs (the
+   same-seed trace guarantee); this is the number that is allowed to
+   move. [--quick] shrinks every scenario to a ~1 s smoke check. *)
+
+let speed_quick = ref false
+
+type speed_row = {
+  scenario : string;
+  wall_s : float;
+  events : int; (* engine events executed *)
+  packets : int; (* wire packets sent (net.pkt) *)
+  ops : int; (* simulated operations completed *)
+  minor_words : float; (* GC minor words allocated during the run *)
+}
+
+(* [run] builds its own deployment, drives it, and reports
+   (events, packets, ops). Wall time and allocation are measured around
+   the whole thing — deployment construction is part of the cost a
+   larger experiment pays. *)
+let measure_speed scenario run =
+  Gc.full_major ();
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let events, packets, ops = run () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. minor0 in
+  { scenario; wall_s; events; packets; ops; minor_words }
+
+let cluster_totals cluster ops =
+  ( Sim.Engine.events_executed (C.engine cluster),
+    Sim.Metrics.count (C.metrics cluster) "net.pkt",
+    ops )
+
+let speed_scenarios quick =
+  [
+    (* Fig. 7's workload: one client, the three latency scenarios. *)
+    ( "fig7_latency",
+      fun () ->
+        let repeats = if quick then 3 else 40 in
+        let cluster = C.create ~seed:7L C.Group_disk in
+        ignore (Workload.Scenarios.run_fig7 ~repeats cluster);
+        cluster_totals cluster (3 * repeats) );
+    (* Fig. 8's workload: 7 closed-loop lookup clients. *)
+    ( "fig8_lookup",
+      fun () ->
+        let window = if quick then 500.0 else 10_000.0 in
+        let cluster = C.create ~seed:801L C.Group_disk in
+        let point = Workload.Throughput.lookups cluster ~clients:7 ~window in
+        cluster_totals cluster
+          (int_of_float
+             (point.Workload.Throughput.per_second *. (window /. 1000.0))) );
+    (* Fig. 9's workload: 7 closed-loop append-delete clients — every
+       update is a SendToGroup multicast, the protocol hot path. *)
+    ( "fig9_append_delete",
+      fun () ->
+        let window = if quick then 1_000.0 else 30_000.0 in
+        let cluster = C.create ~seed:901L C.Group_disk in
+        let point =
+          Workload.Throughput.append_deletes cluster ~clients:7 ~window
+        in
+        cluster_totals cluster
+          (int_of_float
+             (point.Workload.Throughput.per_second *. (window /. 1000.0))) );
+    (* Beyond the paper's 7 clients: 50 closed-loop update clients
+       against a 5-replica group — the scale the ROADMAP points at. *)
+    ( "scaled_50c_5s",
+      fun () ->
+        let clients = if quick then 12 else 50 in
+        let window = if quick then 500.0 else 2_000.0 in
+        let cluster = C.create ~seed:5001L ~servers:5 C.Group_disk in
+        let point =
+          Workload.Throughput.append_deletes cluster ~clients ~window
+        in
+        cluster_totals cluster
+          (int_of_float
+             (point.Workload.Throughput.per_second *. (window /. 1000.0))) );
+  ]
+
+let speed () =
+  let quick = !speed_quick in
+  printf "\n== Speed: wall-clock throughput of the simulation core ==\n";
+  printf "(real seconds%s; simulated results are seed-identical)\n\n"
+    (if quick then ", --quick" else "");
+  let rows = List.map (fun (name, run) -> measure_speed name run) (speed_scenarios quick) in
+  let table_rows =
+    List.map
+      (fun r ->
+        [
+          r.scenario;
+          Printf.sprintf "%.3f" r.wall_s;
+          Printf.sprintf "%.0f" (float_of_int r.events /. r.wall_s);
+          Printf.sprintf "%.0f" (float_of_int r.packets /. r.wall_s);
+          Printf.sprintf "%d" r.ops;
+          (if r.ops = 0 then "-"
+           else Printf.sprintf "%.0f" (r.minor_words /. float_of_int r.ops));
+        ])
+      rows
+  in
+  print_string
+    (Workload.Tables.render
+       ~header:
+         [ "scenario"; "wall s"; "events/s"; "packets/s"; "ops"; "minor w/op" ]
+       table_rows);
+  J.Obj
+    [
+      ("quick", J.Bool quick);
+      ( "scenarios",
+        J.List
+          (List.map
+             (fun r ->
+               J.Obj
+                 [
+                   ("scenario", J.String r.scenario);
+                   ("wall_s", J.Float r.wall_s);
+                   ("events", J.Int r.events);
+                   ( "events_per_sec",
+                     J.Float (float_of_int r.events /. r.wall_s) );
+                   ("packets", J.Int r.packets);
+                   ( "packets_per_sec",
+                     J.Float (float_of_int r.packets /. r.wall_s) );
+                   ("ops", J.Int r.ops);
+                   ("minor_words", J.Float r.minor_words);
+                   ( "minor_words_per_op",
+                     if r.ops = 0 then J.Null
+                     else J.Float (r.minor_words /. float_of_int r.ops) );
+                 ])
+             rows) );
+    ]
+
 let all_experiments =
   [
     ("fig7", fig7);
@@ -800,6 +934,7 @@ let all_experiments =
     ("availability", availability);
     ("ablation-method", ablation_method);
     ("micro", micro);
+    ("speed", speed);
   ]
 
 (* --json [FILE]: machine-readable output. Each experiment's record is
@@ -812,6 +947,9 @@ type json_mode = Text | Json of string option
 let () =
   let rec parse names mode = function
     | [] -> (List.rev names, mode)
+    | "--quick" :: rest ->
+        speed_quick := true;
+        parse names mode rest
     | "--json" :: rest -> (
         match rest with
         | path :: rest'

@@ -16,6 +16,10 @@ type applied = {
 type t = {
   params : Params.t;
   metrics : Sim.Metrics.t option;
+  (* Per-op latency histograms, resolved once per op name: the labelled
+     key ["dirsvc.op_ms{op=...,server=...}"] is built at first use, not
+     per request. *)
+  op_hists : (string, Sim.Metrics.Histogram.t) Hashtbl.t;
   net : Simnet.Network.t;
   node : Sim.Node.t;
   transport : Rpc.Transport.t;
@@ -77,19 +81,27 @@ let emit t ~name attrs =
   Sim.Engine.emit (Simnet.Network.engine t.net) ~subsystem:"dirsvc"
     ~node:(Sim.Node.id t.node) ~name attrs
 
+let op_histogram t m ~op =
+  match Hashtbl.find_opt t.op_hists op with
+  | Some h -> h
+  | None ->
+      let h =
+        Sim.Metrics.histogram_handle m "dirsvc.op_ms"
+          ~labels:[ ("op", op); ("server", string_of_int t.server_id) ]
+      in
+      Hashtbl.add t.op_hists op h;
+      h
+
 (* Wraps a client-facing handler: per-op latency lands in the
-   ["dirsvc.op_ms"] histogram labelled by server and op kind, plus a
-   trace event carrying the outcome. *)
+   ["dirsvc.op_ms"] histogram labelled by server and op kind (handle
+   cached per op name), plus a trace event carrying the outcome. *)
 let timed_op t ~op f =
   let engine = Simnet.Network.engine t.net in
   let started = Sim.Engine.now engine in
   let reply = f () in
   let elapsed = Sim.Engine.now engine -. started in
   (match t.metrics with
-  | Some m ->
-      Sim.Metrics.observe_hist m "dirsvc.op_ms"
-        ~labels:[ ("op", op); ("server", string_of_int t.server_id) ]
-        elapsed
+  | Some m -> Sim.Metrics.Histogram.observe (op_histogram t m ~op) elapsed
   | None -> ());
   emit t ~name:"op" (fun () ->
       [
@@ -755,6 +767,7 @@ let start ~params ?metrics ?nvram net ~server_id ~peers ~node ~device
     {
       params;
       metrics;
+      op_hists = Hashtbl.create 8;
       net;
       node;
       transport;

@@ -1,6 +1,7 @@
 type t = {
   params : Params.t;
   metrics : Sim.Metrics.t option;
+  op_hists : (string, Sim.Metrics.Histogram.t) Hashtbl.t; (* per-op, see timed_op *)
   engine : Sim.Engine.t;
   node : Sim.Node.t;
   device : Storage.Block_device.t;
@@ -66,15 +67,23 @@ let handle_read t serve =
   Sim.Resource.use t.cpu t.params.Params.nfs_cpu_read_ms;
   serve t.store
 
+let op_histogram t m ~op =
+  match Hashtbl.find_opt t.op_hists op with
+  | Some h -> h
+  | None ->
+      let h =
+        Sim.Metrics.histogram_handle m "dirsvc.op_ms"
+          ~labels:[ ("op", op); ("server", "nfs") ]
+      in
+      Hashtbl.add t.op_hists op h;
+      h
+
 let timed_op t ~op f =
   let started = Sim.Engine.now t.engine in
   let reply = f () in
   let elapsed = Sim.Engine.now t.engine -. started in
   (match t.metrics with
-  | Some m ->
-      Sim.Metrics.observe_hist m "dirsvc.op_ms"
-        ~labels:[ ("op", op); ("server", "nfs") ]
-        elapsed
+  | Some m -> Sim.Metrics.Histogram.observe (op_histogram t m ~op) elapsed
   | None -> ());
   Sim.Engine.emit t.engine ~subsystem:"dirsvc" ~node:(Sim.Node.id t.node)
     ~name:"op" (fun () ->
@@ -119,6 +128,7 @@ let start ~params ?metrics net ~node ~device ~port () =
     {
       params;
       metrics;
+      op_hists = Hashtbl.create 8;
       engine = Simnet.Network.engine net;
       node;
       device;

@@ -1,6 +1,7 @@
 type t = {
   params : Params.t;
   metrics : Sim.Metrics.t option;
+  op_hists : (string, Sim.Metrics.Histogram.t) Hashtbl.t; (* per-op, see timed_op *)
   net : Simnet.Network.t;
   node : Sim.Node.t;
   transport : Rpc.Transport.t;
@@ -230,19 +231,27 @@ let handle_read t serve =
   Sim.Resource.use t.cpu t.params.Params.cpu_read_ms;
   serve t.store
 
+let op_histogram t m ~op =
+  match Hashtbl.find_opt t.op_hists op with
+  | Some h -> h
+  | None ->
+      let h =
+        Sim.Metrics.histogram_handle m "dirsvc.op_ms"
+          ~labels:[ ("op", op); ("server", string_of_int t.server_id) ]
+      in
+      Hashtbl.add t.op_hists op h;
+      h
+
 (* Same observability contract as the group server: the per-op latency
-   histogram ["dirsvc.op_ms"] labelled by server and op kind, plus one
-   "dirsvc" trace event per request. *)
+   histogram ["dirsvc.op_ms"] labelled by server and op kind (handle
+   cached per op name), plus one "dirsvc" trace event per request. *)
 let timed_op t ~op f =
   let engine = Simnet.Network.engine t.net in
   let started = Sim.Engine.now engine in
   let reply = f () in
   let elapsed = Sim.Engine.now engine -. started in
   (match t.metrics with
-  | Some m ->
-      Sim.Metrics.observe_hist m "dirsvc.op_ms"
-        ~labels:[ ("op", op); ("server", string_of_int t.server_id) ]
-        elapsed
+  | Some m -> Sim.Metrics.Histogram.observe (op_histogram t m ~op) elapsed
   | None -> ());
   Sim.Engine.emit engine ~subsystem:"dirsvc" ~node:(Sim.Node.id t.node)
     ~name:"op" (fun () ->
@@ -327,6 +336,7 @@ let start ~params ?metrics net ~server_id ~peer_node ~node ~device
     {
       params;
       metrics;
+      op_hists = Hashtbl.create 8;
       net;
       node;
       transport;

@@ -2,6 +2,30 @@ open Types
 
 type item = Delivery of Types.delivery | Failed of string
 
+(* Pre-resolved counter handles: the protocol counts every message it
+   sends, so the hot path must not build or hash a key per packet. One
+   record per member, interned at [make] time; the [k_*] selectors
+   below name the fields at send sites. *)
+type counters = {
+  c_req : Sim.Metrics.handle;
+  c_data : Sim.Metrics.handle;
+  c_ack : Sim.Metrics.handle;
+  c_done : Sim.Metrics.handle;
+  c_accept : Sim.Metrics.handle;
+  c_body : Sim.Metrics.handle;
+  c_hb : Sim.Metrics.handle;
+  c_hback : Sim.Metrics.handle;
+  c_join : Sim.Metrics.handle;
+  c_grant : Sim.Metrics.handle;
+  c_reset : Sim.Metrics.handle;
+  c_leave : Sim.Metrics.handle;
+  c_fail : Sim.Metrics.handle;
+  c_retrans : Sim.Metrics.handle;
+  c_retrans_served : Sim.Metrics.handle;
+  c_send_retry : Sim.Metrics.handle;
+  c_send_ms : Sim.Metrics.Histogram.t; (* labelled by dissemination *)
+}
+
 type t = {
   net : Simnet.Network.t;
   nic : Simnet.Network.nic;
@@ -10,7 +34,7 @@ type t = {
   gname : string;
   proto : string;
   config : Types.config;
-  metrics : Sim.Metrics.t option;
+  counters : counters option;
   me : int;
   mutable status : Types.status;
   mutable epoch : Types.epoch;
@@ -58,8 +82,57 @@ type t = {
    produce different ids (and different traces). *)
 let fresh_instance t = (t.me * 10_000) + Sim.Engine.fresh_id t.engine
 
-let count t key =
-  match t.metrics with None -> () | Some m -> Sim.Metrics.incr m key
+let make_counters m ~dissemination =
+  let c key = Sim.Metrics.counter m key in
+  {
+    c_req = c "grp.req";
+    c_data = c "grp.data";
+    c_ack = c "grp.ack";
+    c_done = c "grp.done";
+    c_accept = c "grp.accept";
+    c_body = c "grp.body";
+    c_hb = c "grp.hb";
+    c_hback = c "grp.hback";
+    c_join = c "grp.join";
+    c_grant = c "grp.grant";
+    c_reset = c "grp.reset";
+    c_leave = c "grp.leave";
+    c_fail = c "grp.fail";
+    c_retrans = c "grp.retrans";
+    c_retrans_served = c "grp.retrans.served";
+    c_send_retry = c "grp.send.retry";
+    c_send_ms =
+      Sim.Metrics.histogram_handle m "grp.send_ms"
+        ~labels:
+          [
+            ( "method",
+              match dissemination with Types.Pb -> "pb" | Types.Bb -> "bb" );
+          ];
+  }
+
+let k_req c = c.c_req
+let k_data c = c.c_data
+let k_ack c = c.c_ack
+let k_done c = c.c_done
+let k_accept c = c.c_accept
+let k_body c = c.c_body
+let k_hb c = c.c_hb
+let k_hback c = c.c_hback
+let k_join c = c.c_join
+let k_grant c = c.c_grant
+let k_reset c = c.c_reset
+let k_leave c = c.c_leave
+let k_fail c = c.c_fail
+let k_retrans c = c.c_retrans
+let k_retrans_served c = c.c_retrans_served
+let k_send_retry c = c.c_send_retry
+
+(* [k] selects the pre-resolved handle; static selectors, so a count is
+   one match and one increment — nothing allocated, nothing hashed. *)
+let count t k =
+  match t.counters with
+  | None -> ()
+  | Some c -> Sim.Metrics.incr_handle (k c)
 
 let now t = Sim.Engine.now t.engine
 
@@ -113,7 +186,7 @@ let declare_broken t ~notify_peers reason =
     Sim.Mailbox.send t.deliver_q (Failed reason);
     Sim.Condvar.broadcast t.changed;
     if notify_peers then
-      multicast t "grp.fail" (Wire.Fail { gname = t.gname; epoch = t.epoch; reason })
+      multicast t k_fail (Wire.Fail { gname = t.gname; epoch = t.epoch; reason })
   end
 
 (* ---- Sequencer: resilience bookkeeping --------------------------- *)
@@ -128,7 +201,7 @@ let send_done t ~origin ~uid =
         Sim.Ivar.fill ivar ()
     | None -> ()
   end
-  else unicast t ~dst:origin "grp.done" (Wire.Done { gname = t.gname; epoch = t.epoch; uid })
+  else unicast t ~dst:origin k_done (Wire.Done { gname = t.gname; epoch = t.epoch; uid })
 
 let holders t seqno =
   List.length
@@ -219,7 +292,7 @@ let send_cumulative_ack t =
   if t.status = Normal then
     if t.sequencer = t.me then record_ack t ~member:t.me ~have_upto:t.contig
     else
-      unicast t ~dst:t.sequencer "grp.ack"
+      unicast t ~dst:t.sequencer k_ack
         (Wire.Ack
            { gname = t.gname; epoch = t.epoch; member = t.me; have_upto = t.contig })
 
@@ -253,7 +326,7 @@ let request_retrans t =
           ("from", Sim.Trace.Int (t.contig + 1));
           ("highest_seen", Sim.Trace.Int t.highest_seen);
         ]);
-    unicast t ~dst:t.sequencer "grp.retrans"
+    unicast t ~dst:t.sequencer k_retrans
       (Wire.Retrans
          { gname = t.gname; epoch = t.epoch; member = t.me; from = t.contig + 1 })
   end
@@ -278,7 +351,7 @@ let assign_and_multicast t entry =
      locally right away (the loopback copy becomes a harmless duplicate). *)
   Hashtbl.replace t.store seqno entry;
   if seqno > t.highest_seen then t.highest_seen <- seqno;
-  multicast t "grp.data"
+  multicast t k_data
     (Wire.Data { gname = t.gname; epoch = t.epoch; seqno; entry });
   advance t;
   seqno
@@ -311,7 +384,7 @@ let handle_bb_body_at_sequencer t ~origin ~uid ~payload =
       if seqno > t.highest_seen then t.highest_seen <- seqno;
       Hashtbl.replace t.assigned_uids (origin, uid) seqno;
       Hashtbl.replace t.pending_done seqno (origin, uid);
-      multicast t "grp.accept"
+      multicast t k_accept
         (Wire.Bb_accept { gname = t.gname; epoch = t.epoch; seqno; origin; uid });
       advance t;
       check_pending_done t
@@ -332,7 +405,7 @@ let handle_bb_accept t ~seqno ~origin ~uid =
 let handle_join_req t ~joiner ~uid =
   match Hashtbl.find_opt t.join_assigned (joiner, uid) with
   | Some seqno ->
-      unicast t ~dst:joiner "grp.grant"
+      unicast t ~dst:joiner k_grant
         (Wire.Join_grant
            {
              gname = t.gname;
@@ -347,7 +420,7 @@ let handle_join_req t ~joiner ~uid =
          already includes the joiner when we build the grant. *)
       let seqno = assign_and_multicast t (Wire.Join_member joiner) in
       Hashtbl.replace t.join_assigned (joiner, uid) seqno;
-      unicast t ~dst:joiner "grp.grant"
+      unicast t ~dst:joiner k_grant
         (Wire.Join_grant
            {
              gname = t.gname;
@@ -360,7 +433,7 @@ let handle_join_req t ~joiner ~uid =
 
 let handle_retrans t ~member ~from =
   let upto = min (from + t.config.retrans_batch - 1) (t.seq_next - 1) in
-  count t "grp.retrans.served";
+  count t k_retrans_served;
   emit t ~name:"retrans" (fun () ->
       [
         ("gname", Sim.Trace.Str t.gname);
@@ -371,7 +444,7 @@ let handle_retrans t ~member ~from =
   for seqno = from to upto do
     match Hashtbl.find_opt t.store seqno with
     | Some entry ->
-        unicast t ~dst:member "grp.data"
+        unicast t ~dst:member k_data
           (Wire.Data { gname = t.gname; epoch = t.epoch; seqno; entry })
     | None -> ()
   done
@@ -392,7 +465,7 @@ let handle_reset_invite t ~instance ~view ~coord =
     t.status <- Resetting;
     Sim.Condvar.broadcast t.changed;
     if coord <> t.me then
-      unicast t ~dst:coord "grp.reset"
+      unicast t ~dst:coord k_reset
         (Wire.Reset_state
            { gname = t.gname; instance; view; member = t.me; have_upto = t.contig })
   end
@@ -411,7 +484,7 @@ let handle_reset_fetch t ~requester ~from ~upto =
     | Some entry -> entries := (seqno, entry) :: !entries
     | None -> ()
   done;
-  unicast t ~dst:requester "grp.reset"
+  unicast t ~dst:requester k_reset
     (Wire.Reset_entries
        { gname = t.gname; instance = t.epoch.instance; entries = !entries })
 
@@ -492,7 +565,7 @@ let reset t =
       t.status <- Resetting;
       t.reset_states <- [ (t.me, t.contig) ];
       t.reset_collect_view <- Some view;
-      multicast t "grp.reset"
+      multicast t k_reset
         (Wire.Reset_invite
            { gname = t.gname; instance = t.epoch.instance; view; coord = t.me });
       Sim.Proc.sleep t.config.reset_window;
@@ -514,7 +587,7 @@ let reset t =
           if t.contig >= base then true
           else begin
             let donor, _ = List.find (fun (_, h) -> h = base) states in
-            unicast t ~dst:donor "grp.reset"
+            unicast t ~dst:donor k_reset
               (Wire.Reset_fetch
                  {
                    gname = t.gname;
@@ -543,7 +616,7 @@ let reset t =
                   | Some entry -> patch := (seqno, entry) :: !patch
                   | None -> ()
                 done;
-                unicast t ~dst:m "grp.reset"
+                unicast t ~dst:m k_reset
                   (Wire.Reset_commit
                      {
                        gname = t.gname;
@@ -613,7 +686,7 @@ let handle_packet t (packet : Simnet.Packet.t) =
         if highest > t.highest_seen then t.highest_seen <- highest;
         if t.highest_seen > t.contig then request_retrans t;
         if t.sequencer <> t.me then
-          unicast t ~dst:t.sequencer "grp.hback"
+          unicast t ~dst:t.sequencer k_hback
             (Wire.Hb_ack
                {
                  gname = t.gname;
@@ -664,7 +737,7 @@ let failure_detector t () =
       if t.sequencer = t.me then begin
         (* Suppress the heartbeat when data traffic is already flowing. *)
         if now t -. t.last_data_sent >= t.config.heartbeat_period then
-          multicast t "grp.hb"
+          multicast t k_hb
             (Wire.Heartbeat
                { gname = t.gname; epoch = t.epoch; highest = t.seq_next - 1 });
         List.iter
@@ -696,7 +769,11 @@ let make ?metrics ?(config = Types.default_config) net nic ~gname =
       gname;
       proto = Wire.proto gname;
       config;
-      metrics;
+      counters =
+        (match metrics with
+        | None -> None
+        | Some m ->
+            Some (make_counters m ~dissemination:config.Types.dissemination));
       me = Sim.Node.id node;
       status = Idle;
       epoch = { instance = 0; view = 0 };
@@ -758,7 +835,7 @@ let join_group ?metrics ?config net nic ~gname =
   let t = make ?metrics ?config net nic ~gname in
   let uid = fresh_uid t in
   t.join_collect <- Some [];
-  multicast t "grp.join" (Wire.Join_req { gname; joiner = t.me; uid });
+  multicast t k_join (Wire.Join_req { gname; joiner = t.me; uid });
   Sim.Proc.sleep t.config.join_window;
   let grants = match t.join_collect with Some g -> g | None -> [] in
   t.join_collect <- None;
@@ -834,21 +911,18 @@ let send t ?size payload =
      else
        match t.config.dissemination with
        | Types.Pb ->
-           unicast t ~dst:t.sequencer "grp.req"
+           unicast t ~dst:t.sequencer k_req
              (Wire.Bcast_req
                 { gname = t.gname; epoch = t.epoch; origin = t.me; uid; payload })
        | Types.Bb ->
-           multicast t "grp.body"
+           multicast t k_body
              (Wire.Bb_body
                 { gname = t.gname; epoch = t.epoch; origin = t.me; uid; payload }));
     match Sim.Ivar.read ~timeout:t.config.send_timeout ivar with
     | () ->
         let wait = now t -. started in
-        (match t.metrics with
-        | Some m ->
-            Sim.Metrics.observe_hist m "grp.send_ms"
-              ~labels:[ ("method", meth) ]
-              wait
+        (match t.counters with
+        | Some c -> Sim.Metrics.Histogram.observe c.c_send_ms wait
         | None -> ());
         emit t ~name:"send.done" (fun () ->
             [
@@ -859,7 +933,7 @@ let send t ?size payload =
             ])
     | exception Sim.Proc.Timeout ->
         Hashtbl.remove t.pending_sends uid;
-        count t "grp.send.retry";
+        count t k_send_retry;
         emit t ~name:"send.retry" (fun () ->
             [
               ("gname", Sim.Trace.Str t.gname);
@@ -906,7 +980,7 @@ let leave t =
         ignore (assign_and_multicast t (Wire.Leave_member t.me))
       end
       else
-        unicast t ~dst:t.sequencer "grp.leave"
+        unicast t ~dst:t.sequencer k_leave
           (Wire.Leave_req { gname = t.gname; epoch = t.epoch; member = t.me });
       (try
          Sim.Condvar.await ~timeout:t.config.send_timeout t.changed (fun () ->

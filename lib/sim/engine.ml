@@ -62,19 +62,20 @@ let run ?until t =
   let continue = ref true in
   while !continue do
     if t.stop_requested then continue := false
-    else
-      match Heap.pop_min t.heap with
-      | None -> continue := false
-      | Some (time, seq, f) -> (
-          match until with
-          | Some limit when time > limit ->
-              (* Put the event back (same seq, so tie order is preserved):
-                 a later [run] may still want it. *)
-              Heap.push t.heap ~time ~seq f;
-              t.now <- limit;
-              continue := false
-          | _ ->
-              t.now <- time;
-              t.events_executed <- t.events_executed + 1;
-              f ())
+    else if Heap.is_empty t.heap then continue := false
+    else begin
+      (* Peek before popping: an event past the time limit stays in the
+         heap untouched (popping and re-pushing it sifted the whole heap
+         twice on every bounded [run] call). *)
+      let time = Heap.min_time t.heap in
+      match until with
+      | Some limit when time > limit ->
+          t.now <- limit;
+          continue := false
+      | _ ->
+          let f = Heap.pop_min_value t.heap in
+          t.now <- time;
+          t.events_executed <- t.events_executed + 1;
+          f ()
+    end
   done

@@ -1,37 +1,70 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+(* Struct-of-arrays layout: times live in a flat (unboxed) float array
+   and seqs in an int array, so push/pop allocate nothing — the previous
+   layout boxed a 3-field entry (plus its [Some]) per event, and
+   simulations push millions of events per run.
 
-(* Slots at index >= size must be [None]: the heap must not retain a
-   popped entry (its value may be a closure over a large object graph,
-   and simulations pop millions of events per run). *)
-type 'a t = { mutable data : 'a entry option array; mutable size : int }
+   Invariant: [values] slots at index >= size hold [dummy]. The heap
+   must never retain a popped value: it is usually a closure over a
+   fiber's continuation, i.e. an arbitrarily large object graph. *)
 
-let create () = { data = [||]; size = 0 }
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;
+  mutable size : int;
+}
+
+(* Filler for cleared/unused value slots. An immediate, so [Array.make]
+   builds a generic (not flat-float) array even at ['a = float]; all
+   accesses below go through the polymorphic array primitives, which
+   handle either representation, and slots at index >= size are never
+   read. *)
+let dummy : 'a. unit -> 'a = fun () -> Obj.magic 0
+
+let create () = { times = [||]; seqs = [||]; values = [||]; size = 0 }
 
 let length h = h.size
 
 let is_empty h = h.size = 0
 
-let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* Strict (time, seq) order; seqs are unique in practice (the engine
+   hands out one per scheduled event), which is what makes pop order —
+   and therefore whole simulations — deterministic. *)
+let lt h i j =
+  h.times.(i) < h.times.(j)
+  || (h.times.(i) = h.times.(j) && h.seqs.(i) < h.seqs.(j))
 
-let get h i =
-  match h.data.(i) with Some e -> e | None -> assert false
+let swap h i j =
+  let t = h.times.(i) in
+  h.times.(i) <- h.times.(j);
+  h.times.(j) <- t;
+  let s = h.seqs.(i) in
+  h.seqs.(i) <- h.seqs.(j);
+  h.seqs.(j) <- s;
+  let v = h.values.(i) in
+  h.values.(i) <- h.values.(j);
+  h.values.(j) <- v
 
 let grow h =
-  let capacity = Array.length h.data in
+  let capacity = Array.length h.times in
   if h.size = capacity then begin
     let new_capacity = if capacity = 0 then 16 else capacity * 2 in
-    let data = Array.make new_capacity None in
-    Array.blit h.data 0 data 0 h.size;
-    h.data <- data
+    let times = Array.make new_capacity 0.0 in
+    let seqs = Array.make new_capacity 0 in
+    let values = Array.make new_capacity (dummy ()) in
+    Array.blit h.times 0 times 0 h.size;
+    Array.blit h.seqs 0 seqs 0 h.size;
+    Array.blit h.values 0 values 0 h.size;
+    h.times <- times;
+    h.seqs <- seqs;
+    h.values <- values
   end
 
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_lt (get h i) (get h parent) then begin
-      let tmp = h.data.(i) in
-      h.data.(i) <- h.data.(parent);
-      h.data.(parent) <- tmp;
+    if lt h i parent then begin
+      swap h i parent;
       sift_up h parent
     end
   end
@@ -39,39 +72,54 @@ let rec sift_up h i =
 let rec sift_down h i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < h.size && entry_lt (get h left) (get h !smallest) then
-    smallest := left;
-  if right < h.size && entry_lt (get h right) (get h !smallest) then
-    smallest := right;
+  if left < h.size && lt h left !smallest then smallest := left;
+  if right < h.size && lt h right !smallest then smallest := right;
   if !smallest <> i then begin
-    let tmp = h.data.(i) in
-    h.data.(i) <- h.data.(!smallest);
-    h.data.(!smallest) <- tmp;
+    swap h i !smallest;
     sift_down h !smallest
   end
 
 let push h ~time ~seq value =
   grow h;
-  h.data.(h.size) <- Some { time; seq; value };
-  h.size <- h.size + 1;
-  sift_up h (h.size - 1)
+  let i = h.size in
+  h.times.(i) <- time;
+  h.seqs.(i) <- seq;
+  h.values.(i) <- value;
+  h.size <- i + 1;
+  sift_up h i
+
+(* Remove the root: move the last element into slot 0, clear its old
+   value slot, re-establish the heap. Shared by the popping entry
+   points so the slot-clearing invariant lives in one place. *)
+let remove_min h =
+  let last = h.size - 1 in
+  h.size <- last;
+  if last > 0 then begin
+    h.times.(0) <- h.times.(last);
+    h.seqs.(0) <- h.seqs.(last);
+    h.values.(0) <- h.values.(last);
+    h.values.(last) <- dummy ();
+    sift_down h 0
+  end
+  else h.values.(0) <- dummy ()
 
 let pop_min h =
   if h.size = 0 then None
   else begin
-    let min = get h 0 in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      h.data.(h.size) <- None;
-      sift_down h 0
-    end
-    else h.data.(0) <- None;
-    Some (min.time, min.seq, min.value)
+    let time = h.times.(0) and seq = h.seqs.(0) and value = h.values.(0) in
+    remove_min h;
+    Some (time, seq, value)
   end
 
 let peek_min h =
-  if h.size = 0 then None
-  else
-    let min = get h 0 in
-    Some (min.time, min.seq, min.value)
+  if h.size = 0 then None else Some (h.times.(0), h.seqs.(0), h.values.(0))
+
+let min_time h =
+  if h.size = 0 then invalid_arg "Heap.min_time: empty heap";
+  h.times.(0)
+
+let pop_min_value h =
+  if h.size = 0 then invalid_arg "Heap.pop_min_value: empty heap";
+  let value = h.values.(0) in
+  remove_min h;
+  value

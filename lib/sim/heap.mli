@@ -24,3 +24,15 @@ val pop_min : 'a t -> (float * int * 'a) option
 
 (** [peek_min heap] returns the minimum element without removing it. *)
 val peek_min : 'a t -> (float * int * 'a) option
+
+(** Allocation-free variants for the event loop. *)
+
+(** [min_time heap] is the time of the minimum element, without
+    removing or allocating anything. Raises [Invalid_argument] on an
+    empty heap. *)
+val min_time : 'a t -> float
+
+(** [pop_min_value heap] removes the minimum element and returns its
+    value alone (no tuple, no option). Raises [Invalid_argument] on an
+    empty heap. *)
+val pop_min_value : 'a t -> 'a

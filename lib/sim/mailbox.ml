@@ -1,24 +1,23 @@
 type 'a t = {
   name : string;
   queue : 'a Queue.t;
-  mutable wait_queue : 'a Proc.Waker.t list; (* oldest first *)
+  (* Oldest first. Dead wakers (crashed node, fired timeout) are pruned
+     lazily as they reach the front — [send] used to rebuild the whole
+     list per delivery, which made every receive O(waiters). *)
+  wait_queue : 'a Proc.Waker.t Queue.t;
 }
 
 let create ?(name = "mailbox") () =
-  { name; queue = Queue.create (); wait_queue = [] }
+  { name; queue = Queue.create (); wait_queue = Queue.create () }
 
 let name t = t.name
 
-let prune t =
-  t.wait_queue <- List.filter Proc.Waker.is_viable t.wait_queue
-
-let send t v =
-  prune t;
-  match t.wait_queue with
-  | [] -> Queue.push v t.queue
-  | waker :: rest ->
-      t.wait_queue <- rest;
-      if not (Proc.Waker.wake waker v) then Queue.push v t.queue
+(* Hand [v] to the oldest still-viable waiter; [wake] refuses dead
+   wakers, so each is discarded the first time it surfaces. *)
+let rec send t v =
+  match Queue.take_opt t.wait_queue with
+  | None -> Queue.push v t.queue
+  | Some waker -> if not (Proc.Waker.wake waker v) then send t v
 
 let try_recv t = Queue.take_opt t.queue
 
@@ -28,7 +27,7 @@ let recv ?timeout t =
   | None ->
       let engine = Proc.engine () in
       Proc.suspend (fun waker ->
-          t.wait_queue <- t.wait_queue @ [ waker ];
+          Queue.push waker t.wait_queue;
           match timeout with
           | None -> ()
           | Some d ->
@@ -37,8 +36,15 @@ let recv ?timeout t =
 
 let length t = Queue.length t.queue
 
+(* Count viable waiters, compacting the dead ones out while we are
+   touching every entry anyway. *)
 let waiters t =
-  prune t;
-  List.length t.wait_queue
+  let live = Queue.create () in
+  Queue.iter
+    (fun waker -> if Proc.Waker.is_viable waker then Queue.push waker live)
+    t.wait_queue;
+  Queue.clear t.wait_queue;
+  Queue.transfer live t.wait_queue;
+  Queue.length t.wait_queue
 
 let clear t = Queue.clear t.queue

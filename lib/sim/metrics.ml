@@ -211,6 +211,14 @@ let incr ?(by = 1) t key =
   let r = counter_ref t key in
   r := !r + by
 
+(* A handle is the counter's cell itself: resolving once buys hot paths
+   an increment with no hashing, no lookup and no key building. *)
+type handle = int ref
+
+let counter t key = counter_ref t key
+
+let incr_handle ?(by = 1) h = h := !h + by
+
 let incr_labelled ?by t key ~labels = incr ?by t (labelled key ~labels)
 
 let count t key = match Hashtbl.find_opt t.counters key with Some r -> !r | None -> 0
@@ -265,6 +273,9 @@ let histogram_ref ?bounds t key =
 
 let observe_hist ?bounds ?(labels = []) t key v =
   Histogram.observe (histogram_ref ?bounds t (labelled key ~labels)) v
+
+let histogram_handle ?bounds ?(labels = []) t key =
+  histogram_ref ?bounds t (labelled key ~labels)
 
 let histogram t key = Hashtbl.find_opt t.histograms key
 

@@ -76,6 +76,18 @@ val incr : ?by:int -> t -> string -> unit
 (** [incr] on [labelled key ~labels]. *)
 val incr_labelled : ?by:int -> t -> string -> labels:(string * string) list -> unit
 
+(** Pre-resolved counter handle: the key is interned once and hot paths
+    bump the underlying cell directly — no key building, hashing or
+    table lookup per event. A handle and [incr] on the same key update
+    the same counter. [reset] orphans outstanding handles (their
+    increments are no longer visible through [count]); re-resolve after
+    a reset. *)
+type handle
+
+val counter : t -> string -> handle
+
+val incr_handle : ?by:int -> handle -> unit
+
 val count : t -> string -> int
 
 (** All counters, sorted by name. *)
@@ -105,6 +117,14 @@ val observe_hist :
   ?bounds:float array -> ?labels:(string * string) list -> t -> string -> float -> unit
 
 val histogram : t -> string -> Histogram.t option
+
+(** [histogram_handle t key] resolves (creating if needed) the histogram
+    named [labelled key ~labels] once; record into it directly with
+    {!Histogram.observe}. The histogram-side analogue of {!counter} —
+    the canonical labelled key is built at resolution time, not per
+    observation. Orphaned by [reset], like counter handles. *)
+val histogram_handle :
+  ?bounds:float array -> ?labels:(string * string) list -> t -> string -> Histogram.t
 
 (** All histograms, sorted by name. *)
 val histograms : t -> (string * Histogram.t) list

@@ -15,12 +15,28 @@ type rail = {
   mutable up : bool;
 }
 
+(* Pre-resolved packet counters. ["net.pkt." ^ proto] used to be built
+   (and hashed) on every packet; protos are few, so each is interned
+   once and found again by a small-string table probe with no
+   allocation. *)
+type counters = {
+  cm : Sim.Metrics.t;
+  pkt : Sim.Metrics.handle;
+  mcast_pkt : Sim.Metrics.handle;
+  by_proto : (string, Sim.Metrics.handle) Hashtbl.t;
+}
+
 type t = {
   engine : Sim.Engine.t;
   rng : Sim.Rng.t;
-  metrics : Sim.Metrics.t option;
+  counters : counters option;
   latency : latency;
   nics : (int, nic) Hashtbl.t; (* node id -> live NIC *)
+  (* Receivers in ascending node-id order — the multicast fan-out order,
+     which fixes the per-receiver RNG draws for a given seed. Rebuilt
+     lazily after attach/crash ([None] = stale); multicast is the
+     protocol hot path and must not sort the NIC table per send. *)
+  mutable receivers : (int * nic) array option;
   rail_states : rail array;
   mutable loss : float;
   mutable fault_filter : (Packet.t -> fault_action) option;
@@ -31,9 +47,20 @@ let create engine ?metrics ?(latency = default_latency) ?(rails = 1) () =
   {
     engine;
     rng = Sim.Rng.split (Sim.Engine.rng engine);
-    metrics;
+    counters =
+      (match metrics with
+      | None -> None
+      | Some cm ->
+          Some
+            {
+              cm;
+              pkt = Sim.Metrics.counter cm "net.pkt";
+              mcast_pkt = Sim.Metrics.counter cm "net.mcast";
+              by_proto = Hashtbl.create 8;
+            });
     latency;
     nics = Hashtbl.create 16;
+    receivers = None;
     rail_states = Array.init rails (fun _ -> { cells = None; up = true });
     loss = 0.0;
     fault_filter = None;
@@ -50,9 +77,12 @@ let attach t node =
     }
   in
   Hashtbl.replace t.nics (Sim.Node.id node) nic;
+  t.receivers <- None;
   Sim.Node.on_crash node (fun () ->
       match Hashtbl.find_opt t.nics (Sim.Node.id node) with
-      | Some current when current == nic -> Hashtbl.remove t.nics (Sim.Node.id node)
+      | Some current when current == nic ->
+          Hashtbl.remove t.nics (Sim.Node.id node);
+          t.receivers <- None
       | Some _ | None -> ());
   nic
 
@@ -118,7 +148,26 @@ let nic_is_live t nic =
   | Some current -> current == nic
   | None -> false
 
-let count t key = match t.metrics with None -> () | Some m -> Sim.Metrics.incr m key
+let proto_handle c proto =
+  match Hashtbl.find_opt c.by_proto proto with
+  | Some h -> h
+  | None ->
+      let h = Sim.Metrics.counter c.cm ("net.pkt." ^ proto) in
+      Hashtbl.add c.by_proto proto h;
+      h
+
+(* One packet on the wire: the total and the per-proto counter. *)
+let count_packet t proto =
+  match t.counters with
+  | None -> ()
+  | Some c ->
+      Sim.Metrics.incr_handle c.pkt;
+      Sim.Metrics.incr_handle (proto_handle c proto)
+
+let count_mcast t =
+  match t.counters with
+  | None -> ()
+  | Some c -> Sim.Metrics.incr_handle c.mcast_pkt
 
 let delivery_delay t ~src ~dst =
   if src = dst then t.latency.local
@@ -165,13 +214,27 @@ let send t nic ~dst ~proto ?(size = 64) payload =
           ("size", Sim.Trace.Int size);
           ("payload", Sim.Trace.Str (Payload.to_string payload));
         ]);
-    count t "net.pkt";
-    count t ("net.pkt." ^ proto);
+    count_packet t proto;
     match apply_fault_filter t packet with
     | Drop -> ()
     | Deliver -> transmit t packet ~dst ~extra_delay:0.0
     | Delay d -> transmit t packet ~dst ~extra_delay:d
   end
+
+(* The cached fan-out set: every live NIC, ascending node id — exactly
+   the order the old sort-per-send computed, so same-seed runs keep
+   byte-identical traces. *)
+let receiver_array t =
+  match t.receivers with
+  | Some receivers -> receivers
+  | None ->
+      let receivers =
+        Hashtbl.fold (fun dst nic acc -> (dst, nic) :: acc) t.nics []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> Array.of_list
+      in
+      t.receivers <- Some receivers;
+      receivers
 
 let multicast t nic ~proto ?(size = 64) payload =
   if nic_is_live t nic then begin
@@ -186,19 +249,14 @@ let multicast t nic ~proto ?(size = 64) payload =
         ]);
     (* Ethernet multicast: one packet on the wire regardless of the
        number of receivers — this is what makes SendToGroup cheap. *)
-    count t "net.pkt";
-    count t ("net.pkt." ^ proto);
-    count t "net.mcast";
+    count_packet t proto;
+    count_mcast t;
     match apply_fault_filter t packet with
     | Drop -> ()
     | (Deliver | Delay _) as action ->
         let extra_delay = match action with Delay d -> d | Deliver | Drop -> 0.0 in
         (* Visit receivers in node-id order so the per-receiver jitter
            draws are deterministic for a given seed. *)
-        let receivers =
-          Hashtbl.fold (fun dst nic acc -> (dst, nic) :: acc) t.nics []
-          |> List.sort (fun (a, _) (b, _) -> compare a b)
-        in
         let deliver_one (dst, nic) =
           if Hashtbl.mem nic.sockets proto then
             if not (lost t ~src ~dst) then begin
@@ -206,5 +264,5 @@ let multicast t nic ~proto ?(size = 64) payload =
               deliver_later t packet ~dst ~delay
             end
         in
-        List.iter deliver_one receivers
+        Array.iter deliver_one (receiver_array t)
   end

@@ -202,6 +202,83 @@ let test_packet_metrics () =
   Alcotest.(check int) "two wire packets" 2 (Sim.Metrics.count w.metrics "net.pkt");
   Alcotest.(check int) "one multicast" 1 (Sim.Metrics.count w.metrics "net.mcast")
 
+(* The cached receiver array must reproduce the order the old
+   sort-per-NIC-table-fold computed on every send: ascending node id,
+   whatever order nodes attached in, and refreshed after a crash or a
+   new attach. With zero jitter every receiver's packet lands at the
+   same virtual time, so equal-timestamp tie-breaking (insertion order)
+   exposes the fan-out order directly as the reception order. *)
+let test_multicast_order_after_churn () =
+  let w = make_world ~latency:{ base = 1.0; jitter = 0.0; local = 0.05 } () in
+  let order = ref [] in
+  let nodes = Hashtbl.create 8 in
+  let join id =
+    let n = node ~id (Printf.sprintf "n%d" id) in
+    Hashtbl.replace nodes id n;
+    let nic = Simnet.Network.attach w.net n in
+    let sock = Simnet.Network.socket nic ~proto:"test" in
+    Sim.Proc.boot w.engine n (fun () ->
+        while true do
+          let _ = Sim.Mailbox.recv sock in
+          order := id :: !order
+        done);
+    nic
+  in
+  (* Scrambled attach order; fan-out must still be ascending by id. *)
+  let nics = List.map (fun id -> (id, join id)) [ 4; 2; 5; 1; 3 ] in
+  let sender = List.assoc 3 nics in
+  let mcast () =
+    Sim.Proc.boot w.engine (Hashtbl.find nodes 3) (fun () ->
+        Simnet.Network.multicast w.net sender ~proto:"test" (Ping 0))
+  in
+  mcast ();
+  (* Sender loopback is fast (0.05), the rest share one base latency, so
+     each round reads: sender first, then ascending ids. *)
+  at w ~delay:2.0 (fun () -> Sim.Node.crash (Hashtbl.find nodes 2));
+  at w ~delay:3.0 (fun () -> mcast ());
+  at w ~delay:5.0 (fun () -> ignore (join 6));
+  at w ~delay:6.0 (fun () -> mcast ());
+  run_until w 20.0;
+  Alcotest.(check (list int)) "ascending ids, tracking churn"
+    [ 3; 1; 2; 4; 5 (* full set *); 3; 1; 4; 5 (* node 2 crashed *); 3; 1; 4; 5; 6 (* node 6 joined *) ]
+    (List.rev !order)
+
+(* Same seed => same per-receiver jitter draws => identical arrival
+   times, even across cache invalidations. Guards the RNG-draw-order
+   contract the receiver cache relies on. *)
+let test_multicast_same_seed_arrivals () =
+  let run_once () =
+    let w = make_world ~seed:99L () in
+    let arrivals = ref [] in
+    let nodes = Hashtbl.create 8 in
+    let join id =
+      let n = node ~id (Printf.sprintf "n%d" id) in
+      Hashtbl.replace nodes id n;
+      let nic = Simnet.Network.attach w.net n in
+      let sock = Simnet.Network.socket nic ~proto:"test" in
+      Sim.Proc.boot w.engine n (fun () ->
+          while true do
+            let _ = Sim.Mailbox.recv sock in
+            arrivals := (id, Sim.Proc.now ()) :: !arrivals
+          done);
+      nic
+    in
+    let nics = List.map (fun id -> (id, join id)) [ 1; 2; 3; 4; 5 ] in
+    let sender = List.assoc 1 nics in
+    let mcast () =
+      Sim.Proc.boot w.engine (Hashtbl.find nodes 1) (fun () ->
+          Simnet.Network.multicast w.net sender ~proto:"test" (Ping 0))
+    in
+    mcast ();
+    at w ~delay:2.0 (fun () -> Sim.Node.crash (Hashtbl.find nodes 4));
+    at w ~delay:3.0 (fun () -> mcast ());
+    run_until w 20.0;
+    List.rev !arrivals
+  in
+  let first = run_once () in
+  Alcotest.(check (list (pair int (float 0.0)))) "same seed, same arrivals"
+    first (run_once ())
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -217,6 +294,8 @@ let suite =
     tc "probabilistic loss" `Quick test_loss;
     tc "fault filter" `Quick test_fault_filter;
     tc "packet metrics" `Quick test_packet_metrics;
+    tc "multicast order tracks churn" `Quick test_multicast_order_after_churn;
+    tc "multicast same-seed arrivals" `Quick test_multicast_same_seed_arrivals;
   ]
 
 (* Redundant rails: one healthy rail suffices (the paper's "multiple,

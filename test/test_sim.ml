@@ -382,10 +382,53 @@ let test_histogram_labelled () =
         [ ("op", "w"); ("server", "2") ]
         (Sim.Metrics.labels_of_key "op_ms{op=w,server=2}")
 
+(* Model test: interleaved pushes and pops against a sorted-list
+   reference. The order-only qcheck test above never observes the heap
+   in a partially drained state, which is exactly where a
+   struct-of-arrays sift can go wrong. [Some t] pushes at time [t]
+   (sequence numbers assigned in program order), [None] pops. *)
+let test_heap_vs_reference_model =
+  QCheck.Test.make ~name:"heap matches sorted-list reference" ~count:300
+    (* Bounded op count: the reference model resorts on every push, so
+       unbounded generated lists make the test quadratic in their size. *)
+    QCheck.(list_of_size Gen.(int_range 0 120) (option (float_bound_inclusive 100.0)))
+    (fun ops ->
+      let heap = Sim.Heap.create () in
+      let model = ref [] (* sorted by (time, seq) *) in
+      let next_seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          (match op with
+          | Some time ->
+              let seq = !next_seq in
+              incr next_seq;
+              Sim.Heap.push heap ~time ~seq seq;
+              model :=
+                List.sort
+                  (fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+                  ((time, seq, seq) :: !model)
+          | None -> (
+              match (Sim.Heap.pop_min heap, !model) with
+              | None, [] -> ()
+              | Some got, expected :: rest ->
+                  if got <> expected then ok := false;
+                  model := rest
+              | Some _, [] | None, _ :: _ -> ok := false));
+          if Sim.Heap.length heap <> List.length !model then ok := false;
+          match (Sim.Heap.peek_min heap, !model) with
+          | None, [] -> ()
+          | Some got, expected :: _ -> if got <> expected then ok := false
+          | Some _, [] | None, _ :: _ -> ok := false)
+        ops;
+      !ok)
+
 (* Regression: pop_min used to leave the popped entry behind in the
    backing array, keeping every popped value (often a closure over a
    fiber's continuation) reachable until that slot happened to be
-   overwritten — a space leak in a long-lived event heap. *)
+   overwritten — a space leak in a long-lived event heap. The partial
+   drain checks the guarantee at intermediate states too: a popped value
+   must be collectable even while later entries still sit in the heap. *)
 let test_heap_pop_releases_entries () =
   let heap = Sim.Heap.create () in
   let slots = 8 in
@@ -395,7 +438,22 @@ let test_heap_pop_releases_entries () =
     Weak.set weak i (Some v);
     Sim.Heap.push heap ~time:(float_of_int i) ~seq:i v
   done;
-  for _ = 1 to slots do
+  let half = slots / 2 in
+  for _ = 1 to half do
+    ignore (Sim.Heap.pop_min heap)
+  done;
+  Gc.full_major ();
+  for i = 0 to half - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "popped value %d collectable mid-drain" i)
+      false (Weak.check weak i)
+  done;
+  for i = half to slots - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "unpopped value %d still held" i)
+      true (Weak.check weak i)
+  done;
+  for _ = half + 1 to slots do
     ignore (Sim.Heap.pop_min heap)
   done;
   Gc.full_major ();
@@ -431,6 +489,7 @@ let suite =
     tc "determinism" `Quick test_determinism;
     tc "rng statistics" `Quick test_rng_statistics;
     QCheck_alcotest.to_alcotest test_heap_property;
+    QCheck_alcotest.to_alcotest test_heap_vs_reference_model;
     tc "heap pop releases entries" `Quick test_heap_pop_releases_entries;
     tc "metrics delta" `Quick test_metrics_delta;
     tc "metrics delta negative" `Quick test_metrics_delta_negative;

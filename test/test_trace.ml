@@ -108,6 +108,35 @@ let test_deterministic_jsonl () =
   let a = traced_run () and b = traced_run () in
   Alcotest.(check string) "same seed, byte-identical JSONL" a b
 
+(* Regression for the hot-path rewrites (struct-of-arrays heap, peeking
+   [run ~until], cached multicast receiver set, lazy mailbox pruning):
+   none of them may perturb a same-seed run. A fig8-style closed-loop
+   lookup workload exercises all of them at once; both the simulated-time
+   result and a digest of the full trace must come out identical. *)
+let test_deterministic_fig8_digest () =
+  let run_once () =
+    let cluster = Dirsvc.Cluster.create ~seed:801L Dirsvc.Cluster.Group_disk in
+    let trace = Sim.Trace.create ~capacity:65_536 () in
+    Sim.Engine.set_trace (Dirsvc.Cluster.engine cluster) (Some trace);
+    let point =
+      Workload.Throughput.lookups cluster ~clients:4 ~warmup:200.0
+        ~window:1_000.0
+    in
+    let engine = Dirsvc.Cluster.engine cluster in
+    ( Digest.to_hex (Digest.string (Sim.Trace.to_jsonl trace)),
+      point.Workload.Throughput.per_second,
+      point.Workload.Throughput.errors,
+      Sim.Engine.events_executed engine,
+      Sim.Engine.now engine )
+  in
+  let digest_a, rate_a, errors_a, events_a, now_a = run_once () in
+  let digest_b, rate_b, errors_b, events_b, now_b = run_once () in
+  Alcotest.(check string) "same trace digest" digest_a digest_b;
+  Alcotest.(check (float 0.0)) "same throughput" rate_a rate_b;
+  Alcotest.(check int) "same errors" errors_a errors_b;
+  Alcotest.(check int) "same event count" events_a events_b;
+  Alcotest.(check (float 0.0)) "same final clock" now_a now_b
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -118,4 +147,5 @@ let suite =
     tc "text rendering" `Quick test_text_rendering;
     tc "cluster emits events" `Quick test_cluster_emits_events;
     tc "deterministic jsonl" `Quick test_deterministic_jsonl;
+    tc "deterministic fig8 digest" `Quick test_deterministic_fig8_digest;
   ]
