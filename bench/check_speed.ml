@@ -1,0 +1,68 @@
+(* Events-per-packet gate, run from [dune build @speed-smoke].
+
+   Engine events per wire packet is the cheapest proxy for "are we
+   simulating work that never happens": delivery fan-out to NICs that
+   discard the packet, timeout guards that fire dead, and polling
+   drivers all inflate events without adding packets. The scenarios are
+   seed-fixed, so each ratio is exact for a given build; the ceilings
+   sit ~50% above the current values so routine drift passes but a
+   regression that reintroduces a per-receiver or per-guard event class
+   (historically a 3-14x jump on the scaled scenario) fails loudly. *)
+
+module C = Dirsvc.Cluster
+
+let scenarios =
+  [
+    ( "fig7_latency",
+      8.0,
+      fun () ->
+        let cluster = C.create ~seed:7L C.Group_disk in
+        ignore (Workload.Scenarios.run_fig7 ~repeats:3 cluster);
+        cluster );
+    ( "fig8_lookup",
+      6.0,
+      fun () ->
+        let cluster = C.create ~seed:801L C.Group_disk in
+        ignore (Workload.Throughput.lookups cluster ~clients:7 ~window:500.0);
+        cluster );
+    ( "fig9_append_delete",
+      7.5,
+      fun () ->
+        let cluster = C.create ~seed:901L C.Group_disk in
+        ignore
+          (Workload.Throughput.append_deletes cluster ~clients:7
+             ~window:1_000.0);
+        cluster );
+    ( "scaled_50c_5s",
+      8.0,
+      fun () ->
+        let cluster = C.create ~seed:5001L ~servers:5 C.Group_disk in
+        ignore
+          (Workload.Throughput.append_deletes cluster ~clients:12
+             ~window:500.0);
+        cluster );
+  ]
+
+let () =
+  let failed = ref [] in
+  List.iter
+    (fun (name, ceiling, run) ->
+      let cluster = run () in
+      let events = Sim.Engine.events_executed (C.engine cluster) in
+      let packets = Sim.Metrics.count (C.metrics cluster) "net.pkt" in
+      let ratio = float_of_int events /. float_of_int packets in
+      let ok = ratio <= ceiling in
+      Printf.printf "%-20s %8d events %7d packets  %5.2f events/packet  (ceiling %4.1f) %s\n"
+        name events packets ratio ceiling
+        (if ok then "ok" else "FAIL");
+      if not ok then failed := name :: !failed)
+    scenarios;
+  match !failed with
+  | [] -> ()
+  | names ->
+      Printf.eprintf
+        "check_speed: events-per-packet ceiling exceeded in: %s\n\
+         Something is scheduling engine events that do no useful work — \
+         see DESIGN.md on timers and event-count engineering.\n"
+        (String.concat ", " (List.rev names));
+      exit 1

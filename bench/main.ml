@@ -840,9 +840,7 @@ let speed_scenarios quick =
         let window = if quick then 500.0 else 10_000.0 in
         let cluster = C.create ~seed:801L C.Group_disk in
         let point = Workload.Throughput.lookups cluster ~clients:7 ~window in
-        cluster_totals cluster
-          (int_of_float
-             (point.Workload.Throughput.per_second *. (window /. 1000.0))) );
+        cluster_totals cluster point.Workload.Throughput.total_ops );
     (* Fig. 9's workload: 7 closed-loop append-delete clients — every
        update is a SendToGroup multicast, the protocol hot path. *)
     ( "fig9_append_delete",
@@ -852,9 +850,7 @@ let speed_scenarios quick =
         let point =
           Workload.Throughput.append_deletes cluster ~clients:7 ~window
         in
-        cluster_totals cluster
-          (int_of_float
-             (point.Workload.Throughput.per_second *. (window /. 1000.0))) );
+        cluster_totals cluster point.Workload.Throughput.total_ops );
     (* Beyond the paper's 7 clients: 50 closed-loop update clients
        against a 5-replica group — the scale the ROADMAP points at. *)
     ( "scaled_50c_5s",
@@ -865,9 +861,7 @@ let speed_scenarios quick =
         let point =
           Workload.Throughput.append_deletes cluster ~clients ~window
         in
-        cluster_totals cluster
-          (int_of_float
-             (point.Workload.Throughput.per_second *. (window /. 1000.0))) );
+        cluster_totals cluster point.Workload.Throughput.total_ops );
   ]
 
 let speed () =

@@ -238,17 +238,56 @@ let serving_servers t =
 
 let device t server_id = t.slots.(server_id - 1).device
 
+(* Event-driven replacement for a 20 ms chunked poller: each serving
+   transition stops the engine via [set_serving_watch]; we then drain to
+   the 20 ms boundary the poller would have sampled the predicate on, so
+   the final clock (which later scenarios anchor on) is unchanged. *)
 let await_serving ?(timeout = 2000.0) t ~count =
-  let deadline = Sim.Engine.now t.engine +. timeout in
-  let rec poll () =
-    if List.length (serving_servers t) >= count then true
+  let pred () = List.length (serving_servers t) >= count in
+  let quantum = 20.0 in
+  let start = Sim.Engine.now t.engine in
+  let deadline = start +. timeout in
+  (* The poller ran chunks while its clock (always on a boundary) was
+     below the deadline, so its last chunk ended on the first boundary
+     at or past it. *)
+  let cap = Sim.Drive.boundary_at_or_past ~start ~quantum deadline in
+  (* The watch is disarmed during boundary drains: a transition seen
+     mid-drain must not cut the drain short of the boundary. *)
+  let armed = ref false in
+  let watch () = if !armed && pred () then Sim.Engine.stop t.engine in
+  let set_watch w =
+    Array.iter
+      (fun slot ->
+        match slot.group_server with
+        | Some s -> Group_server.set_serving_watch s w
+        | None -> ())
+      t.slots
+  in
+  set_watch (Some watch);
+  let rec go () =
+    if pred () then true
     else if Sim.Engine.now t.engine >= deadline then false
     else begin
-      Sim.Engine.run ~until:(Sim.Engine.now t.engine +. 20.0) t.engine;
-      poll ()
+      let before = Sim.Engine.now t.engine in
+      armed := true;
+      Sim.Engine.run ~until:cap t.engine;
+      armed := false;
+      let now = Sim.Engine.now t.engine in
+      if pred () then begin
+        (* Stopped at the transition: execute the rest of the quantum,
+           exactly as the poller did before observing the flip. *)
+        Sim.Engine.run
+          ~until:(Sim.Drive.boundary_at_or_past ~start ~quantum now)
+          t.engine;
+        go ()
+      end
+      else if now > before then go ()
+      else false (* heap drained: nothing left that could flip it *)
     end
   in
-  poll ()
+  let ok = go () in
+  set_watch None;
+  ok
 
 let bullet_port t server_id =
   match t.slots.(server_id - 1).bullet_node with

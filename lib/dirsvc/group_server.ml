@@ -42,6 +42,10 @@ type t = {
   mutable group : Group.Member.t option;
   mutable gprocessed : int; (* group position applied *)
   mutable serving : bool;
+  (* Called synchronously whenever [serving] flips to true — lets a
+     driver (Cluster.await_serving) stop the engine at the transition
+     instead of polling for it on a quantum. *)
+  mutable serving_watch : (unit -> unit) option;
   mutable stayed_up : bool;
   applied : Sim.Condvar.t;
   results :
@@ -56,6 +60,11 @@ type t = {
 let server_id t = t.server_id
 
 let serving t = t.serving
+
+let set_serving_watch t w = t.serving_watch <- w
+
+let notify_serving t =
+  match t.serving_watch with None -> () | Some f -> f ()
 
 let useq t = t.useq
 
@@ -159,7 +168,7 @@ let rec bullet_create_with_retry t data tries =
   match Storage.Bullet.create t.transport ~port:t.bullet_port data with
   | cap -> cap
   | exception Rpc.Transport.Rpc_failure _ when tries > 0 ->
-      Sim.Proc.sleep 25.0;
+      Sim.Timer.sleep 25.0;
       bullet_create_with_retry t data (tries - 1)
 
 (* Persist directory [dir_id]'s current state: new Bullet file + object
@@ -586,7 +595,7 @@ let all_server_ids t = List.map fst t.peers
 let rec run_recovery t ~attempt =
   leave_group t;
   (* Stagger retries so concurrent creators converge. *)
-  Sim.Proc.sleep
+  Sim.Timer.sleep
     (10.0
     +. (float_of_int t.server_id *. 7.0)
     +. (float_of_int attempt *. 13.0));
@@ -610,7 +619,7 @@ let rec run_recovery t ~attempt =
     if List.length (Group.Member.members g) >= majority t then true
     else if Sim.Proc.now () > deadline then false
     else begin
-      Sim.Proc.sleep 15.0;
+      Sim.Timer.sleep 15.0;
       wait_majority ()
     end
   in
@@ -687,6 +696,7 @@ let rec run_recovery t ~attempt =
           if not ok then run_recovery t ~attempt:(attempt + 1)
           else begin
             t.serving <- true;
+            notify_serving t;
             t.stayed_up <- true;
             t.forced_recovery <- false;
             write_commit_block t ~recovering:false;
@@ -712,7 +722,7 @@ let rec run_recovery t ~attempt =
               ]);
           if tries > 6 then run_recovery t ~attempt:(attempt + 1)
           else begin
-            Sim.Proc.sleep 60.0;
+            Sim.Timer.sleep 60.0;
             attempt_exchange (tries + 1)
           end
       | Skeen.No_majority -> run_recovery t ~attempt:(attempt + 1)
@@ -745,7 +755,7 @@ let group_thread t () =
 
 let nvram_flusher t nv () =
   while true do
-    Sim.Proc.sleep (t.params.nvram_flush_idle_ms /. 2.0) ;
+    Sim.Timer.sleep (t.params.nvram_flush_idle_ms /. 2.0) ;
     let idle = Sim.Proc.now () -. t.last_update > t.params.nvram_flush_idle_ms in
     let full = Storage.Nvram.fill_ratio nv > t.params.nvram_flush_ratio in
     if Storage.Nvram.length nv > 0 && (idle || full) then nvram_flush t nv
@@ -786,6 +796,7 @@ let start ~params ?metrics ?nvram net ~server_id ~peers ~node ~device
       group = None;
       gprocessed = 0;
       serving = false;
+      serving_watch = None;
       stayed_up = false;
       applied = Sim.Condvar.create ();
       results = Hashtbl.create 32;

@@ -60,6 +60,11 @@ val server_id : t -> int
 
 val serving : t -> bool
 
+(** Register (or clear) a callback run synchronously each time the
+    server transitions to serving. Used by event-driven drivers to stop
+    the engine at the transition instead of polling [serving]. *)
+val set_serving_watch : t -> (unit -> unit) option -> unit
+
 (** Highest update sequence number applied. *)
 val useq : t -> int
 

@@ -81,7 +81,7 @@ let rec bullet_create_with_retry t data tries =
   match Storage.Bullet.create t.transport ~port:t.bullet_port data with
   | cap -> cap
   | exception Rpc.Transport.Rpc_failure _ when tries > 0 ->
-      Sim.Proc.sleep 25.0;
+      Sim.Timer.sleep 25.0;
       bullet_create_with_retry t data (tries - 1)
 
 let persist_dir_to_disk t dir_id =
@@ -200,7 +200,7 @@ let handle_write t op =
                  servers, or simultaneous initiators would collide again
                  on every round. *)
               unlock t dir_id;
-              Sim.Proc.sleep
+              Sim.Timer.sleep
                 (2.0
                 +. (float_of_int t.server_id *. 3.7)
                 +. (float_of_int tries *. 2.3));

@@ -92,7 +92,7 @@ let op_size (op : Directory.op) =
           0 rows
 
 let () =
-  Simnet.Payload.register_printer (function
+  Simnet.Payload.register_printer ~name:"dirsvc" (function
     | Dir_request (Write_op _) -> Some "dir.write"
     | Dir_request (List_req _) -> Some "dir.list"
     | Dir_request (Lookup_req _) -> Some "dir.lookup"

@@ -58,6 +58,11 @@ type t = {
   assigned_uids : (int * int, int) Hashtbl.t; (* (origin, uid) -> seqno *)
   join_assigned : (int * int, int) Hashtbl.t; (* (joiner, uid) -> seqno *)
   mutable last_data_sent : float;
+  (* The failure detector's pending tick. Held so that a member leaving
+     the group can revoke it: the tick is tombstoned in the heap instead
+     of firing as a dead event, and the fd fiber — left suspended — is
+     simply never resumed, like the fail-stop fibers of a crashed node. *)
+  mutable fd_tick : Sim.Timer.t option;
   (* Member-side failure detection. *)
   mutable last_from_seq : float;
   mutable last_retrans_req : float;
@@ -135,6 +140,15 @@ let count t k =
   | Some c -> Sim.Metrics.incr_handle (k c)
 
 let now t = Sim.Engine.now t.engine
+
+(* Revoke the failure detector's pending tick (see [fd_tick]). Safe to
+   call at any point: canceling an already-fired timer is a no-op. *)
+let halt_fd t =
+  match t.fd_tick with
+  | Some tm ->
+      Sim.Timer.cancel tm;
+      t.fd_tick <- None
+  | None -> ()
 
 let emit t ~name attrs =
   Sim.Engine.emit t.engine ~subsystem:"grp" ~node:t.me ~name attrs
@@ -268,6 +282,7 @@ let deliver_entry t seqno (entry : Wire.entry) =
       Sim.Mailbox.send t.deliver_q (Delivery (Departed { seqno; member = m }));
       if m = t.me then begin
         t.status <- Left;
+        halt_fd t;
         fail_pending_sends t "left group";
         Sim.Condvar.broadcast t.changed
       end
@@ -730,9 +745,22 @@ let handle_packet t (packet : Simnet.Packet.t) =
         apply_reset_commit t ~epoch ~members ~sequencer ~base ~patch
   | _ -> ()
 
+(* One heartbeat period on a cancelable timer, with the handle parked in
+   [t.fd_tick] so [halt_fd] can revoke it. Event-stream-identical to
+   [Proc.sleep] while the member is alive: the timer fires at the same
+   (time, seq) slot the sleep event occupied. *)
+let fd_sleep t =
+  Sim.Proc.suspend (fun w ->
+      let tm =
+        Sim.Timer.after t.engine ~delay:t.config.heartbeat_period (fun () ->
+            ignore (Sim.Proc.Waker.wake w ()))
+      in
+      Sim.Proc.Waker.on_wake w (fun () -> Sim.Timer.cancel tm);
+      t.fd_tick <- Some tm)
+
 let failure_detector t () =
   while t.status <> Left do
-    Sim.Proc.sleep t.config.heartbeat_period;
+    fd_sleep t;
     if t.status = Normal then
       if t.sequencer = t.me then begin
         (* Suppress the heartbeat when data traffic is already flowing. *)
@@ -792,6 +820,7 @@ let make ?metrics ?(config = Types.default_config) net nic ~gname =
       assigned_uids = Hashtbl.create 32;
       join_assigned = Hashtbl.create 8;
       last_data_sent = 0.0;
+      fd_tick = None;
       last_from_seq = Sim.Engine.now engine;
       last_retrans_req = -1000.0;
       join_collect = None;
@@ -811,6 +840,9 @@ let make ?metrics ?(config = Types.default_config) net nic ~gname =
         handle_packet t (Sim.Mailbox.recv socket)
       done);
   Sim.Proc.boot engine node ~name:(gname ^ ".grp-fd") (failure_detector t);
+  (* A crashed node's pending tick would fire as a dead event (the
+     waker's incarnation is gone); revoke it instead. *)
+  Sim.Node.on_crash node (fun () -> halt_fd t);
   t
 
 let create_group ?metrics ?config net nic ~gname =
@@ -856,6 +888,7 @@ let join_group ?metrics ?config net nic ~gname =
   match best with
   | None ->
       t.status <- Left;
+      halt_fd t;
       (* stops the fibers *)
       raise (Join_failed (Printf.sprintf "%s: no grant received" gname))
   | Some (sequencer, members, base, epoch, _) ->
@@ -965,9 +998,12 @@ let rec receive ?timeout t =
 let leave t =
   match t.status with
   | Left -> ()
-  | Idle -> t.status <- Left
+  | Idle ->
+      t.status <- Left;
+      halt_fd t
   | Broken | Resetting ->
       t.status <- Left;
+      halt_fd t;
       Sim.Condvar.broadcast t.changed
   | Normal ->
       if t.sequencer = t.me then begin
@@ -985,4 +1021,6 @@ let leave t =
       (try
          Sim.Condvar.await ~timeout:t.config.send_timeout t.changed (fun () ->
              t.status = Left)
-       with Sim.Proc.Timeout -> t.status <- Left)
+       with Sim.Proc.Timeout ->
+         t.status <- Left;
+         halt_fd t)

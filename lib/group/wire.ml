@@ -76,7 +76,7 @@ type Simnet.Payload.t +=
 let proto gname = "grp:" ^ gname
 
 let () =
-  Simnet.Payload.register_printer (function
+  Simnet.Payload.register_printer ~name:"group" (function
     | Bcast_req { origin; uid; _ } ->
         Some (Printf.sprintf "grp.req %d.%d" origin uid)
     | Data { seqno; _ } -> Some (Printf.sprintf "grp.data #%d" seqno)

@@ -101,6 +101,13 @@ let create ?(config = default_config) net nic =
     }
   in
   let socket = Simnet.Network.socket nic ~proto:Wire.proto in
+  (* The only RPC multicast is Locate, and a transport that has never
+     served anything answers every Locate with silence — so until the
+     first [serve], the NIC filters RPC multicasts out (unicast replies
+     still arrive). For a pure client this removes one delivery event
+     plus one dispatch wakeup per broadcast in the whole run; under a
+     locate storm that is most of the event heap. *)
+  Simnet.Network.set_multicast_interest nic ~proto:Wire.proto false;
   let node = Simnet.Network.nic_node nic in
   Sim.Proc.boot (Simnet.Network.engine net) node ~name:"rpc.dispatch" (fun () ->
       while true do
@@ -109,6 +116,8 @@ let create ?(config = default_config) net nic =
   t
 
 let serve t ~port ?(threads = 2) handler =
+  (* First service: start listening to Locate broadcasts. *)
+  Simnet.Network.set_multicast_interest t.nic ~proto:Wire.proto true;
   let service =
     match Hashtbl.find_opt t.services port with
     | Some service ->

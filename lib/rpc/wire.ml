@@ -14,7 +14,7 @@ type Simnet.Payload.t +=
 let proto = "rpc"
 
 let () =
-  Simnet.Payload.register_printer (function
+  Simnet.Payload.register_printer ~name:"rpc" (function
     | Locate { port; xid; _ } -> Some (Printf.sprintf "rpc.locate %s #%d" port xid)
     | Here_is { port; server; _ } ->
         Some (Printf.sprintf "rpc.hereis %s @%d" port server)

@@ -8,9 +8,7 @@ let wait ?timeout t =
       t.wait_queue <- t.wait_queue @ [ waker ];
       match timeout with
       | None -> ()
-      | Some d ->
-          Engine.schedule engine ~delay:d (fun () ->
-              ignore (Proc.Waker.wake_exn waker Proc.Timeout)))
+      | Some d -> ignore (Timer.guard engine waker ~delay:d Proc.Timeout))
 
 let broadcast t =
   let waiting = t.wait_queue in

@@ -1,7 +1,19 @@
+(* Timers are heap entries that can be tombstoned in O(1): [cancel_timer]
+   flips the state and the run loop discards the corpse when it surfaces,
+   without executing it, without counting it, and without advancing the
+   clock. This is what lets timeout guards (mailbox/condvar/ivar waits,
+   RPC attempt timers) vanish from the event count when the guarded thing
+   happens first — which is almost always. *)
+type timer_state = Armed of (unit -> unit) | Fired | Cancelled
+
+type timer = { mutable state : timer_state }
+
+type event = Thunk of (unit -> unit) | Timer of timer
+
 type t = {
   mutable now : float;
   mutable seq : int;
-  heap : (unit -> unit) Heap.t;
+  heap : event Heap.t;
   rng : Rng.t;
   mutable stop_requested : bool;
   mutable events_executed : int;
@@ -35,10 +47,25 @@ let fresh_id t =
 
 let rng t = t.rng
 
-let schedule t ~delay f =
+let push t ~delay cell =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   t.seq <- t.seq + 1;
-  Heap.push t.heap ~time:(t.now +. delay) ~seq:t.seq f
+  Heap.push t.heap ~time:(t.now +. delay) ~seq:t.seq cell
+
+let schedule t ~delay f = push t ~delay (Thunk f)
+
+let schedule_timer t ~delay f =
+  let tm = { state = Armed f } in
+  push t ~delay (Timer tm);
+  tm
+
+let cancel_timer tm =
+  match tm.state with
+  | Armed _ -> tm.state <- Cancelled
+  | Fired | Cancelled -> ()
+
+let timer_active tm =
+  match tm.state with Armed _ -> true | Fired | Cancelled -> false
 
 let stop t = t.stop_requested <- true
 
@@ -72,10 +99,25 @@ let run ?until t =
       | Some limit when time > limit ->
           t.now <- limit;
           continue := false
-      | _ ->
-          let f = Heap.pop_min_value t.heap in
-          t.now <- time;
-          t.events_executed <- t.events_executed + 1;
-          f ()
+      | _ -> (
+          match Heap.pop_min_value t.heap with
+          | Thunk f ->
+              t.now <- time;
+              t.events_executed <- t.events_executed + 1;
+              f ()
+          | Timer tm -> (
+              match tm.state with
+              | Armed f ->
+                  tm.state <- Fired;
+                  t.now <- time;
+                  t.events_executed <- t.events_executed + 1;
+                  f ()
+              (* Tombstone: discarded without running or counting. The
+                 clock still advances, exactly as when the entry fired
+                 as a dead no-op event — [now] at a drained-heap [run]
+                 exit is observable (drivers anchor their next quantum
+                 on it), and same-seed runs must not shift by an ulp
+                 across versions. *)
+              | Cancelled | Fired -> t.now <- time))
     end
   done

@@ -27,6 +27,22 @@ val fresh_id : t -> int
     non-negative. *)
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 
+(** A cancelable timer handle (see {!Timer} for the public face). *)
+type timer
+
+(** [schedule_timer t ~delay f] is [schedule], but returns a handle that
+    can revoke the event. A canceled timer is tombstoned in place: the
+    run loop discards it when it reaches the top of the heap without
+    executing it, counting it in {!events_executed}, or advancing the
+    clock — it costs one lazy heap pop instead of a simulated event. *)
+val schedule_timer : t -> delay:float -> (unit -> unit) -> timer
+
+(** O(1); idempotent; a no-op after the timer fired. *)
+val cancel_timer : timer -> unit
+
+(** A timer is active until it fires or is canceled. *)
+val timer_active : timer -> bool
+
 (** [run t] executes events until the heap drains, [stop] is called, or
     [until] (absolute virtual time) is reached. An exception escaping an
     event aborts the run and is re-raised to the caller of [run]. *)
@@ -35,7 +51,8 @@ val run : ?until:float -> t -> unit
 (** Ask the engine to stop after the current event. *)
 val stop : t -> unit
 
-(** Number of events executed so far (for tests and reporting). *)
+(** Number of events executed so far (for tests and reporting). Canceled
+    timers never count. *)
 val events_executed : t -> int
 
 (** Optional structured trace buffer (see {!Trace}). [None] disables

@@ -30,9 +30,7 @@ let recv ?timeout t =
           Queue.push waker t.wait_queue;
           match timeout with
           | None -> ()
-          | Some d ->
-              Engine.schedule engine ~delay:d (fun () ->
-                  ignore (Proc.Waker.wake_exn waker Proc.Timeout)))
+          | Some d -> ignore (Timer.guard engine waker ~delay:d Proc.Timeout))
 
 let length t = Queue.length t.queue
 

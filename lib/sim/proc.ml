@@ -7,13 +7,35 @@ module Waker = struct
     mutable used : bool;
     viable : unit -> bool;
     fire : ('a, exn) result -> unit;
+    (* Run once, at the moment the waker is consumed — the hook through
+       which a successful wakeup revokes its guard timer, so the timeout
+       event is tombstoned instead of popping later as a dead no-op. *)
+    mutable cleanup : (unit -> unit) option;
   }
 
   let is_viable w = (not w.used) && w.viable ()
 
+  let on_wake w f =
+    match w.cleanup with
+    | None -> w.cleanup <- Some f
+    | Some g ->
+        w.cleanup <-
+          Some
+            (fun () ->
+              g ();
+              f ())
+
+  let consumed w =
+    w.used <- true;
+    match w.cleanup with
+    | None -> ()
+    | Some f ->
+        w.cleanup <- None;
+        f ()
+
   let wake w v =
     if is_viable w then begin
-      w.used <- true;
+      consumed w;
       w.fire (Ok v);
       true
     end
@@ -21,7 +43,7 @@ module Waker = struct
 
   let wake_exn w e =
     if is_viable w then begin
-      w.used <- true;
+      consumed w;
       w.fire (Error e);
       true
     end
@@ -65,7 +87,7 @@ let rec run_fiber ctx f =
                           | Ok v -> continue k v
                           | Error e -> discontinue k e)
                   in
-                  register { Waker.used = false; viable; fire })
+                  register { Waker.used = false; viable; fire; cleanup = None })
           | Get_ctx -> Some (fun (k : (a, _) continuation) -> continue k ctx)
           | _ -> None);
     }
@@ -103,8 +125,11 @@ let self_name () = (get_ctx ()).name
 let with_timeout d f =
   let ctx = get_ctx () in
   suspend (fun w ->
-      Engine.schedule ctx.engine ~delay:d (fun () ->
-          ignore (Waker.wake_exn w Timeout));
+      let tm =
+        Engine.schedule_timer ctx.engine ~delay:d (fun () ->
+            ignore (Waker.wake_exn w Timeout))
+      in
+      Waker.on_wake w (fun () -> Engine.cancel_timer tm);
       boot ctx.engine ctx.node ~name:(ctx.name ^ ".timed") (fun () ->
           match f () with
           | v -> ignore (Waker.wake w v)

@@ -30,6 +30,13 @@ module Waker : sig
 
   (** A waker is viable while it is unused and its fiber can still run. *)
   val is_viable : 'a t -> bool
+
+  (** [on_wake w f] runs [f] once, at the moment [w] is consumed by
+      {!wake} or {!wake_exn}. Used to revoke guard timers (see
+      {!Timer}): when the guarded event happens first, the pending
+      timeout is canceled instead of firing later as a dead event.
+      Multiple hooks compose in registration order. *)
+  val on_wake : 'a t -> (unit -> unit) -> unit
 end
 
 (** [boot engine node ?name f] starts a root fiber for [node]; it begins

@@ -1,0 +1,24 @@
+type t = Engine.timer
+
+let after engine ~delay f = Engine.schedule_timer engine ~delay f
+
+let cancel = Engine.cancel_timer
+
+let active = Engine.timer_active
+
+let guard engine waker ~delay exn =
+  let tm =
+    Engine.schedule_timer engine ~delay (fun () ->
+        ignore (Proc.Waker.wake_exn waker exn))
+  in
+  Proc.Waker.on_wake waker (fun () -> Engine.cancel_timer tm);
+  tm
+
+let sleep d =
+  let engine = Proc.engine () in
+  Proc.suspend (fun w ->
+      let tm =
+        Engine.schedule_timer engine ~delay:d (fun () ->
+            ignore (Proc.Waker.wake w ()))
+      in
+      Proc.Waker.on_wake w (fun () -> Engine.cancel_timer tm))

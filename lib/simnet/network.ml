@@ -8,6 +8,12 @@ type nic = {
   node : Sim.Node.t;
   incarnation : int;
   sockets : (string, Packet.t Sim.Mailbox.t) Hashtbl.t;
+  (* Protos whose multicasts this NIC filters out, like a real NIC
+     without the group's MAC address programmed. Opted-out receivers
+     still participate in the per-receiver loss/jitter draws (the RNG
+     stream is part of the same-seed contract); only the delivery event
+     is elided, because the host would discard the packet anyway. *)
+  mcast_opt_out : (string, unit) Hashtbl.t;
 }
 
 type rail = {
@@ -74,6 +80,7 @@ let attach t node =
       node;
       incarnation = Sim.Node.incarnation node;
       sockets = Hashtbl.create 8;
+      mcast_opt_out = Hashtbl.create 4;
     }
   in
   Hashtbl.replace t.nics (Sim.Node.id node) nic;
@@ -95,6 +102,12 @@ let socket nic ~proto =
       let mbox = Sim.Mailbox.create ~name:proto () in
       Hashtbl.add nic.sockets proto mbox;
       mbox
+
+let set_multicast_interest nic ~proto interested =
+  if interested then Hashtbl.remove nic.mcast_opt_out proto
+  else Hashtbl.replace nic.mcast_opt_out proto ()
+
+let multicast_interested nic ~proto = not (Hashtbl.mem nic.mcast_opt_out proto)
 
 let rebind_socket nic ~proto =
   let mbox = Sim.Mailbox.create ~name:proto () in
@@ -260,8 +273,12 @@ let multicast t nic ~proto ?(size = 64) payload =
         let deliver_one (dst, nic) =
           if Hashtbl.mem nic.sockets proto then
             if not (lost t ~src ~dst) then begin
+              (* The jitter draw happens for every reachable receiver,
+                 opted-out or not: skipping it would shift the RNG
+                 stream and change every later delivery in the run. *)
               let delay = delivery_delay t ~src ~dst +. extra_delay in
-              deliver_later t packet ~dst ~delay
+              if multicast_interested nic ~proto then
+                deliver_later t packet ~dst ~delay
             end
         in
         Array.iter deliver_one (receiver_array t)

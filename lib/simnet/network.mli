@@ -55,6 +55,21 @@ val nic_node : nic -> Sim.Node.t
     it has a socket for. *)
 val socket : nic -> proto:string -> Packet.t Sim.Mailbox.t
 
+(** [set_multicast_interest nic ~proto interested] programs the NIC's
+    multicast filter for [proto], like (de)programming a group MAC
+    address on real hardware. A NIC starts interested in every proto it
+    has a socket for; an opted-out NIC still receives {e unicasts} on
+    that socket. Filtering happens at send time and is invisible to the
+    simulation's RNG stream: the per-receiver loss and jitter draws
+    still happen for opted-out receivers, only the (always discarded)
+    delivery event is elided. Endpoints that can never act on a
+    multicast — e.g. pure RPC clients, which only ever receive unicast
+    replies — opt out so a 50-client broadcast storm does not schedule
+    50 pointless deliveries per packet. *)
+val set_multicast_interest : nic -> proto:string -> bool -> unit
+
+val multicast_interested : nic -> proto:string -> bool
+
 (** [rebind_socket nic ~proto] installs and returns a {e fresh} queue for
     [proto], orphaning the previous one. Use when a protocol endpoint is
     reincarnated on a live node (e.g. leaving and re-joining a group):

@@ -2,9 +2,18 @@ type t = ..
 
 type t += Opaque of string
 
-let printers : (t -> string option) list ref = ref []
+(* Keyed so registration is idempotent: a module initializer that runs
+   more than once in a process (a library linked into several dynamically
+   loaded plugins, or reloaded in a toploop) replaces its old printer
+   instead of appending a duplicate that every [to_string] call would
+   then re-try. Order of first registration is preserved. *)
+let printers : (string * (t -> string option)) list ref = ref []
 
-let register_printer p = printers := !printers @ [ p ]
+let register_printer ~name p =
+  if List.mem_assoc name !printers then
+    printers :=
+      List.map (fun (n, q) -> if n = name then (n, p) else (n, q)) !printers
+  else printers := !printers @ [ (name, p) ]
 
 let to_string payload =
   match payload with
@@ -12,7 +21,7 @@ let to_string payload =
   | _ ->
       let rec try_printers = function
         | [] -> "<payload>"
-        | p :: rest -> (
+        | (_, p) :: rest -> (
             match p payload with Some s -> s | None -> try_printers rest)
       in
       try_printers !printers

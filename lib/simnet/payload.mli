@@ -12,7 +12,10 @@ type t = ..
 type t += Opaque of string
 
 (** Register a printer for trace output. Printers are tried in
-    registration order until one returns [Some]. *)
-val register_printer : (t -> string option) -> unit
+    first-registration order until one returns [Some]. Registration is
+    keyed by [name] and idempotent: registering the same name again
+    replaces the previous printer in place, so module initializers that
+    run more than once per process do not accumulate duplicates. *)
+val register_printer : name:string -> (t -> string option) -> unit
 
 val to_string : t -> string

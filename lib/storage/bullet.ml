@@ -16,7 +16,7 @@ type Simnet.Payload.t +=
   | Err_rep of string
 
 let () =
-  Simnet.Payload.register_printer (function
+  Simnet.Payload.register_printer ~name:"bullet" (function
     | Create_req data -> Some (Printf.sprintf "bullet.create %dB" (String.length data))
     | Read_req cap -> Some (Format.asprintf "bullet.read %a" Capability.pp cap)
     | Delete_req cap -> Some (Format.asprintf "bullet.delete %a" Capability.pp cap)

@@ -83,15 +83,11 @@ let run ?(warmup = 300.0) ?(window = 3_000.0) ?(read_fraction = 0.98) cluster
           end
         done)
   done;
-  let rec drive guard =
-    if guard = 0 then failwith "Mix.run: clients never ready";
-    match Sim.Ivar.peek gate with
-    | Some (_, t_stop) -> Dirsvc.Cluster.run_until cluster (t_stop +. 500.0)
-    | None ->
-        Dirsvc.Cluster.run_until cluster (Sim.Engine.now engine +. 1_000.0);
-        drive (guard - 1)
-  in
-  drive 120;
+  if not (Sim.Drive.run_until_filled ~quantum:1_000.0 ~max_quanta:120 engine gate)
+  then failwith "Mix.run: clients never ready";
+  (match Sim.Ivar.peek gate with
+  | Some (_, t_stop) -> Dirsvc.Cluster.run_until cluster (t_stop +. 500.0)
+  | None -> assert false);
   let seconds = window /. 1000.0 in
   {
     clients;

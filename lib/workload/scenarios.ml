@@ -10,17 +10,16 @@ let with_client cluster f =
   let client = Dirsvc.Cluster.client cluster in
   let node = Rpc.Transport.node (Dirsvc.Client.transport client) in
   let result = ref None in
+  let finished = Sim.Ivar.create () in
   Sim.Proc.boot (Dirsvc.Cluster.engine cluster) node ~name:"workload" (fun () ->
-      result := Some (f client));
+      result := Some (f client);
+      Sim.Ivar.fill finished ());
   let engine = Dirsvc.Cluster.engine cluster in
-  let rec drive guard =
-    if guard = 0 then ()
-    else begin
-      Sim.Engine.run ~until:(Sim.Engine.now engine +. 10_000.0) engine;
-      if !result = None then drive (guard - 1)
-    end
-  in
-  drive 1_000;
+  if
+    not
+      (Sim.Drive.run_until_filled ~quantum:10_000.0 ~max_quanta:1_000 engine
+         finished)
+  then failwith "Scenarios.with_client: fiber never finished";
   match !result with
   | Some v -> v
   | None -> failwith "Scenarios.with_client: fiber never finished"

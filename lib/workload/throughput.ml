@@ -1,4 +1,9 @@
-type point = { clients : int; per_second : float; errors : int }
+type point = {
+  clients : int;
+  per_second : float;
+  errors : int;
+  total_ops : int;
+}
 
 let ensure_serving cluster =
   match Dirsvc.Cluster.flavor cluster with
@@ -16,13 +21,13 @@ let ensure_serving cluster =
    client to be ready; only then does the measurement window open — so a
    slow setup under contention cannot eat into the window. *)
 let closed_loop cluster ~gate ~arrived ~clients ~warmup ~window ~completed
-    ~errors loop_body =
+    ~total ~errors loop_body =
   let client = Dirsvc.Cluster.client cluster in
   let node = Rpc.Transport.node (Dirsvc.Client.transport client) in
   Sim.Proc.boot (Dirsvc.Cluster.engine cluster) node ~name:"load-client"
     (fun () ->
       (match loop_body client with
-      | () -> ()
+      | () -> incr total
       | exception _ -> incr errors);
       incr arrived;
       if !arrived = clients then begin
@@ -32,7 +37,9 @@ let closed_loop cluster ~gate ~arrived ~clients ~warmup ~window ~completed
       let t_start, t_stop = Sim.Ivar.read gate in
       while Sim.Proc.now () < t_stop do
         match loop_body client with
-        | () -> if Sim.Proc.now () >= t_start then incr completed
+        | () ->
+            incr total;
+            if Sim.Proc.now () >= t_start then incr completed
         | exception _ ->
             incr errors;
             Sim.Proc.sleep 5.0
@@ -43,29 +50,27 @@ let run_window cluster ~warmup ~window ~clients ~setup ~op =
   let engine = Dirsvc.Cluster.engine cluster in
   (* Shared setup runs (and advances the clock) first. *)
   let shared = setup cluster in
-  let completed = ref 0 and errors = ref 0 in
+  let completed = ref 0 and total = ref 0 and errors = ref 0 in
   let gate = Sim.Ivar.create () in
   let arrived = ref 0 in
   for i = 1 to clients do
     closed_loop cluster ~gate ~arrived ~clients ~warmup ~window ~completed
-      ~errors (op shared i)
+      ~total ~errors (op shared i)
   done;
   (* Drive the clock until the window (whose bounds the clients pick once
-     all are ready) has fully elapsed. *)
-  let rec drive guard =
-    if guard = 0 then failwith "Throughput.run_window: clients never ready";
-    match Sim.Ivar.peek gate with
-    | Some (_, t_stop) -> Dirsvc.Cluster.run_until cluster (t_stop +. 500.0)
-    | None ->
-        Dirsvc.Cluster.run_until cluster
-          (Sim.Engine.now engine +. 1_000.0);
-        drive (guard - 1)
-  in
-  drive 120;
+     all are ready) has fully elapsed. The gate ivar doubles as the
+     readiness signal, so the engine stops the instant the last client
+     arrives instead of being polled in 1 s chunks. *)
+  if not (Sim.Drive.run_until_filled ~quantum:1_000.0 ~max_quanta:120 engine gate)
+  then failwith "Throughput.run_window: clients never ready";
+  (match Sim.Ivar.peek gate with
+  | Some (_, t_stop) -> Dirsvc.Cluster.run_until cluster (t_stop +. 500.0)
+  | None -> assert false);
   {
     clients;
     per_second = float_of_int !completed /. (window /. 1000.0);
     errors = !errors;
+    total_ops = !total;
   }
 
 (* Run [f] on a fresh client fiber and wait for it. *)
@@ -73,17 +78,19 @@ let run_setup cluster f =
   let client = Dirsvc.Cluster.client cluster in
   let node = Rpc.Transport.node (Dirsvc.Client.transport client) in
   let result = ref None in
+  let finished = Sim.Ivar.create () in
   Sim.Proc.boot (Dirsvc.Cluster.engine cluster) node ~name:"setup" (fun () ->
-      result := Some (f client));
+      result := Some (f client);
+      Sim.Ivar.fill finished ());
   let engine = Dirsvc.Cluster.engine cluster in
-  let rec wait guard =
-    if guard = 0 then failwith "Throughput: setup never finished"
-    else begin
-      Sim.Engine.run ~until:(Sim.Engine.now engine +. 1_000.0) engine;
-      match !result with Some v -> v | None -> wait (guard - 1)
-    end
-  in
-  wait 100
+  if
+    not
+      (Sim.Drive.run_until_filled ~quantum:1_000.0 ~max_quanta:100 engine
+         finished)
+  then failwith "Throughput: setup never finished";
+  match !result with
+  | Some v -> v
+  | None -> failwith "Throughput: setup never finished"
 
 let lookups ?(warmup = 300.0) ?(window = 2_000.0) cluster ~clients =
   let setup cluster =

@@ -11,6 +11,13 @@ type point = {
   clients : int;
   per_second : float;  (** lookups/s (Fig. 8) or pairs/s (Fig. 9) *)
   errors : int;  (** refused / failed operations during measurement *)
+  total_ops : int;
+      (** every completed client iteration over the whole run — setup,
+          warm-up, window and post-window drain included. This is the
+          denominator matching whole-run costs (engine events, GC
+          words); [per_second *. window] counts only the measurement
+          window and undercounts by an order of magnitude when warm-up
+          dominates a short window. *)
 }
 
 (** [lookups cluster ~clients] — Fig. 8's workload: every client loops

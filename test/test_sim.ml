@@ -466,6 +466,139 @@ let test_heap_pop_releases_entries () =
   Sim.Heap.push heap ~time:1.0 ~seq:1 (ref 0);
   Alcotest.(check bool) "still usable" true (Sim.Heap.pop_min heap <> None)
 
+(* Model test for the cancelable timer layer: every interleaving of
+   schedule / cancel-before-run / cancel-from-a-firing-callback must
+   fire exactly the timers a naive sorted-list simulation fires, in the
+   same order, and the engine must count exactly those firings as
+   events — a tombstoned timer is discarded, not executed. Each case is
+   a list of timers scheduled together at t=0: (delay, action), where
+   the action cancels the timer itself right after scheduling, cancels
+   the k-th-next timer (mod n) at fire time, or nothing. *)
+let test_timer_vs_model =
+  let open QCheck in
+  let action =
+    Gen.oneof
+      [
+        Gen.return `Nothing;
+        Gen.return `Cancel_now;
+        Gen.map (fun k -> `Cancel_at_fire k) (Gen.int_range 0 10);
+      ]
+  in
+  let case =
+    Gen.list_size (Gen.int_range 0 40)
+      (Gen.pair (Gen.float_bound_inclusive 50.0) action)
+  in
+  let print_case ops =
+    String.concat ";"
+      (List.map
+         (fun (d, a) ->
+           Printf.sprintf "(%g,%s)" d
+             (match a with
+             | `Nothing -> "-"
+             | `Cancel_now -> "now"
+             | `Cancel_at_fire k -> Printf.sprintf "@%d" k))
+         ops)
+  in
+  Test.make ~name:"timers match sorted-list reference" ~count:300
+    (make ~print:print_case case) (fun ops ->
+      let n = List.length ops in
+      let ops = Array.of_list ops in
+      (* Reference: process (delay, seq) in sorted order over an armed
+         set, applying fire-time cancels as they happen. *)
+      let armed = Array.map (fun (_, a) -> a <> `Cancel_now) ops in
+      let order =
+        List.sort compare (List.init n (fun i -> (fst ops.(i), i)))
+      in
+      let expected = ref [] in
+      List.iter
+        (fun (_, i) ->
+          if armed.(i) then begin
+            armed.(i) <- false;
+            expected := i :: !expected;
+            match snd ops.(i) with
+            | `Cancel_at_fire k -> armed.((i + k) mod n) <- false
+            | `Nothing | `Cancel_now -> ()
+          end)
+        order;
+      let expected = List.rev !expected in
+      (* Real run. *)
+      let engine = Sim.Engine.create () in
+      let handles = Array.make (max n 1) None in
+      let fired = ref [] in
+      Array.iteri
+        (fun i (delay, action) ->
+          let tm =
+            Sim.Timer.after engine ~delay (fun () ->
+                fired := i :: !fired;
+                match action with
+                | `Cancel_at_fire k -> (
+                    match handles.((i + k) mod n) with
+                    | Some tm -> Sim.Timer.cancel tm
+                    | None -> ())
+                | `Nothing | `Cancel_now -> ())
+          in
+          handles.(i) <- Some tm;
+          if action = `Cancel_now then Sim.Timer.cancel tm)
+        ops;
+      Sim.Engine.run engine;
+      let fired = List.rev !fired in
+      fired = expected
+      (* Cancelled timers are discarded, not executed: only real
+         firings count as engine events. *)
+      && Sim.Engine.events_executed engine = List.length expected
+      && Array.for_all
+           (fun h ->
+             match h with Some tm -> not (Sim.Timer.active tm) | None -> true)
+           handles)
+
+(* Regression for the timeout-guard conversion: when the guarded thing
+   happens first, the timeout timer is cancelled at wake time and must
+   never fire — the waiter must not see a spurious [Timeout] after
+   already consuming its message, and the dead guard must not show up
+   in the event count. *)
+let test_cancelled_mailbox_timeout_never_wakes () =
+  let run ~timeout =
+    let engine = Sim.Engine.create () in
+    let node = Sim.Node.create ~id:1 ~name:"n1" in
+    let mbox : string Sim.Mailbox.t = Sim.Mailbox.create () in
+    let outcome = ref "" in
+    Sim.Proc.boot engine node (fun () ->
+        (match Sim.Mailbox.recv ?timeout mbox with
+        | msg -> outcome := "got " ^ msg
+        | exception Sim.Proc.Timeout -> outcome := "timeout");
+        (* Sleep past the guard's deadline: a leaked guard firing into
+           the dead waker (or worse, the fiber) would surface here. *)
+        Sim.Proc.sleep 20.0;
+        outcome := !outcome ^ "; alive at " ^ string_of_float (Sim.Proc.now ()));
+    Sim.Engine.schedule engine ~delay:1.0 (fun () -> Sim.Mailbox.send mbox "m");
+    Sim.Engine.run engine;
+    (!outcome, Sim.Engine.events_executed engine)
+  in
+  let with_guard, events_with = run ~timeout:(Some 5.0) in
+  let without_guard, events_without = run ~timeout:None in
+  Alcotest.(check string) "message wins, no spurious timeout"
+    "got m; alive at 21." with_guard;
+  Alcotest.(check string) "same outcome without a guard"
+    "got m; alive at 21." without_guard;
+  Alcotest.(check int) "cancelled guard costs zero events" events_without
+    events_with
+
+let test_cancelled_condvar_timeout_never_wakes () =
+  let engine = Sim.Engine.create () in
+  let node = Sim.Node.create ~id:1 ~name:"n1" in
+  let cv = Sim.Condvar.create () in
+  let outcome = ref "" in
+  Sim.Proc.boot engine node (fun () ->
+      (match Sim.Condvar.wait ~timeout:5.0 cv with
+      | () -> outcome := "signalled"
+      | exception Sim.Proc.Timeout -> outcome := "timeout");
+      Sim.Proc.sleep 20.0;
+      outcome := !outcome ^ "; alive at " ^ string_of_float (Sim.Proc.now ()));
+  Sim.Engine.schedule engine ~delay:1.0 (fun () -> Sim.Condvar.broadcast cv);
+  Sim.Engine.run engine;
+  Alcotest.(check string) "signal wins, no spurious timeout"
+    "signalled; alive at 21." !outcome
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -490,6 +623,11 @@ let suite =
     tc "rng statistics" `Quick test_rng_statistics;
     QCheck_alcotest.to_alcotest test_heap_property;
     QCheck_alcotest.to_alcotest test_heap_vs_reference_model;
+    QCheck_alcotest.to_alcotest test_timer_vs_model;
+    tc "cancelled mailbox timeout never wakes" `Quick
+      test_cancelled_mailbox_timeout_never_wakes;
+    tc "cancelled condvar timeout never wakes" `Quick
+      test_cancelled_condvar_timeout_never_wakes;
     tc "heap pop releases entries" `Quick test_heap_pop_releases_entries;
     tc "metrics delta" `Quick test_metrics_delta;
     tc "metrics delta negative" `Quick test_metrics_delta_negative;

@@ -137,6 +137,39 @@ let test_deterministic_fig8_digest () =
   Alcotest.(check int) "same event count" events_a events_b;
   Alcotest.(check (float 0.0)) "same final clock" now_a now_b
 
+(* Same guarantee for the event-count rewrites (cancelable timers,
+   multicast interest filtering, event-driven drivers): a short
+   scaled-style run — many pure-client NICs against a wider replica
+   group, the shape where those optimisations elide the most work —
+   must still be bit-for-bit reproducible. *)
+let test_deterministic_scaled_digest () =
+  let run_once () =
+    let cluster =
+      Dirsvc.Cluster.create ~seed:5001L ~servers:5 Dirsvc.Cluster.Group_disk
+    in
+    let trace = Sim.Trace.create ~capacity:65_536 () in
+    Sim.Engine.set_trace (Dirsvc.Cluster.engine cluster) (Some trace);
+    let point =
+      Workload.Throughput.append_deletes cluster ~clients:8 ~warmup:200.0
+        ~window:500.0
+    in
+    let engine = Dirsvc.Cluster.engine cluster in
+    ( Digest.to_hex (Digest.string (Sim.Trace.to_jsonl trace)),
+      point.Workload.Throughput.per_second,
+      point.Workload.Throughput.total_ops,
+      point.Workload.Throughput.errors,
+      Sim.Engine.events_executed engine,
+      Sim.Engine.now engine )
+  in
+  let digest_a, rate_a, ops_a, errors_a, events_a, now_a = run_once () in
+  let digest_b, rate_b, ops_b, errors_b, events_b, now_b = run_once () in
+  Alcotest.(check string) "same trace digest" digest_a digest_b;
+  Alcotest.(check (float 0.0)) "same throughput" rate_a rate_b;
+  Alcotest.(check int) "same total ops" ops_a ops_b;
+  Alcotest.(check int) "same errors" errors_a errors_b;
+  Alcotest.(check int) "same event count" events_a events_b;
+  Alcotest.(check (float 0.0)) "same final clock" now_a now_b
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -148,4 +181,5 @@ let suite =
     tc "cluster emits events" `Quick test_cluster_emits_events;
     tc "deterministic jsonl" `Quick test_deterministic_jsonl;
     tc "deterministic fig8 digest" `Quick test_deterministic_fig8_digest;
+    tc "deterministic scaled digest" `Quick test_deterministic_scaled_digest;
   ]
