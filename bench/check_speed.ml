@@ -43,6 +43,61 @@ let scenarios =
         cluster );
   ]
 
+(* Parallel-sweep gate: the same grid of scenario runs, fanned over a
+   [Sim.Pool], must actually go faster — jobs=4 wall clock at most 0.6x
+   jobs=1. Catches a pool regression that serializes workers (a lock
+   held across job execution, a coordinator that stops helping) which
+   the determinism tests cannot see: output stays identical either way.
+   Wall-clock speedup needs real cores, so the gate skips itself on
+   machines with fewer than 4 (and under DIRSIM_SKIP_PARALLEL_GATE=1
+   for constrained or noisy CI runners), printing why. *)
+
+let grid_thunks () =
+  List.concat_map
+    (fun (_, _, run) ->
+      List.init 3 (fun _ () -> ignore (run ())))
+    scenarios
+
+let parallel_gate () =
+  match Sys.getenv_opt "DIRSIM_SKIP_PARALLEL_GATE" with
+  | Some _ ->
+      Printf.printf
+        "parallel gate: skipped (DIRSIM_SKIP_PARALLEL_GATE is set)\n"
+  | None ->
+      let cores = Domain.recommended_domain_count () in
+      if cores < 4 then
+        Printf.printf
+          "parallel gate: skipped (%d core(s) available, need >= 4 for a \
+           meaningful speedup measurement)\n"
+          cores
+      else begin
+        let time jobs =
+          Sim.Pool.with_pool ~jobs (fun pool ->
+              Gc.full_major ();
+              let t0 = Unix.gettimeofday () in
+              ignore (Sim.Pool.map pool (fun f -> f ()) (grid_thunks ()));
+              Unix.gettimeofday () -. t0)
+        in
+        let t1 = time 1 in
+        let t4 = time 4 in
+        let ratio = t4 /. t1 in
+        let ok = ratio <= 0.6 in
+        Printf.printf
+          "parallel gate: jobs=1 %.3f s  jobs=4 %.3f s  ratio %.2f  (ceiling \
+           0.60) %s\n"
+          t1 t4 ratio
+          (if ok then "ok" else "FAIL");
+        if not ok then begin
+          Printf.eprintf
+            "check_speed: jobs=4 grid took %.2fx the jobs=1 wall clock (must \
+             be <= 0.60x on %d cores).\n\
+             The domain pool is not delivering parallelism — check for \
+             serialization in Sim.Pool or shared mutable state.\n"
+            ratio cores;
+          exit 1
+        end
+      end
+
 let () =
   let failed = ref [] in
   List.iter
@@ -57,7 +112,7 @@ let () =
         (if ok then "ok" else "FAIL");
       if not ok then failed := name :: !failed)
     scenarios;
-  match !failed with
+  (match !failed with
   | [] -> ()
   | names ->
       Printf.eprintf
@@ -65,4 +120,5 @@ let () =
          Something is scheduling engine events that do no useful work — \
          see DESIGN.md on timers and event-count engineering.\n"
         (String.concat ", " (List.rev names));
-      exit 1
+      exit 1);
+  parallel_gate ()

@@ -8,6 +8,13 @@
    Machine-readable:      dune exec bench/main.exe -- fig7 --json [FILE]
                           (writes BENCH_<name>.json per experiment, prints
                           one aggregate JSON document on stdout)
+   Parallel grid:         dune exec bench/main.exe -- --jobs 4
+                          (fan the independent runs over 4 domains; all
+                          output — text, per-experiment files, aggregate
+                          JSON — is byte-identical for every --jobs value)
+   Multi-seed sweeps:     dune exec bench/main.exe -- fig7 --seeds 5
+                          (rerun each figure across 5 derived seeds and
+                          report mean ± 95% CI)
    Available experiments: fig7 fig8 fig9 costs ablation-r ablation-size
                           ablation-disk ablation-method mix availability
                           micro *)
@@ -16,12 +23,76 @@ module C = Dirsvc.Cluster
 module J = Sim.Json
 
 (* Under --json, stdout must stay pure JSON: every human-readable line in
-   this file flows through these two shadowed bindings. *)
+   this file flows through these two shadowed bindings. Under --jobs N,
+   experiments run on worker domains, so the bindings route through a
+   domain-local sink: a task that prints is wrapped in [captured], its
+   output lands in a per-task buffer, and the coordinator replays the
+   buffers in submission order — stdout never depends on which domain
+   finished first. *)
 let quiet = ref false
 
-let printf fmt = Printf.ksprintf (fun s -> if not !quiet then print_string s) fmt
+let sink_key : Buffer.t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
-let print_string s = if not !quiet then Stdlib.print_string s
+let print_string s =
+  if not !quiet then
+    match Domain.DLS.get sink_key with
+    | Some buf -> Buffer.add_string buf s
+    | None -> Stdlib.print_string s
+
+let printf fmt = Printf.ksprintf print_string fmt
+
+(* [captured f] runs [f] with prints redirected into a fresh buffer and
+   returns (output, result). Nests: helping domains save and restore the
+   sink around each task they pick up. *)
+let captured f =
+  let buf = Buffer.create 256 in
+  let saved = Domain.DLS.get sink_key in
+  Domain.DLS.set sink_key (Some buf);
+  match f () with
+  | v ->
+      Domain.DLS.set sink_key saved;
+      (Buffer.contents buf, v)
+  | exception e ->
+      Domain.DLS.set sink_key saved;
+      raise e
+
+(* ---- parallel fan-out ---------------------------------------------- *)
+
+let jobs_level = ref 1
+
+let seed_count = ref 1
+
+let the_pool : Sim.Pool.t option ref = ref None
+
+let pool () =
+  match !the_pool with
+  | Some p -> p
+  | None ->
+      let p = Sim.Pool.create ~jobs:!jobs_level in
+      the_pool := Some p;
+      p
+
+let psubmit f = Sim.Pool.submit (pool ()) f
+
+let pmap f items = Sim.Pool.map (pool ()) f items
+
+(* Derived per-rerun seeds for [--seeds K]; [] when the mode is off. *)
+let variance_seeds ~base =
+  if !seed_count <= 1 then []
+  else Workload.Scenarios.derive_seeds ~base !seed_count
+
+let ci_cell (s : Workload.Stats.summary) =
+  Printf.sprintf "%.1f ± %.1f" s.mean s.ci95
+
+let ci_to_json (s : Workload.Stats.summary) =
+  J.Obj
+    [
+      ("n", J.Int s.n);
+      ("mean", J.Float s.mean);
+      ("stddev", J.Float s.stddev);
+      ("ci95", J.Float s.ci95);
+    ]
 
 let stats_mean samples = (Workload.Stats.summarise samples).Workload.Stats.mean
 
@@ -52,16 +123,70 @@ let flavors =
 
 (* ---- Fig. 7: single-client latency table -------------------------- *)
 
+let fig7_seed = 7L
+
+(* Per-flavor runs are independent deployments: fan them out. *)
+let fig7_run ~seed (flavor, name) =
+  let cluster = C.create ~seed flavor in
+  let fig = Workload.Scenarios.run_fig7 ~repeats:12 cluster in
+  (name, fig, C.metrics cluster)
+
+(* [--seeds K]: rerun the whole figure once per derived seed and report
+   mean ± 95% CI of each cell across the runs. *)
+let fig7_variance () =
+  match variance_seeds ~base:fig7_seed with
+  | [] -> None
+  | seeds ->
+      let grid =
+        List.concat_map (fun seed -> List.map (fun fl -> (seed, fl)) flavors) seeds
+      in
+      let runs = pmap (fun (seed, fl) -> fig7_run ~seed fl) grid in
+      let cells =
+        List.map
+          (fun (_, name) ->
+            let figs =
+              List.filter_map
+                (fun (n, fig, _) -> if n = name then Some fig else None)
+                runs
+            in
+            let scenario label pick =
+              ( label,
+                Workload.Stats.summarise
+                  (List.map
+                     (fun f -> (pick f).Workload.Stats.mean)
+                     figs) )
+            in
+            ( name,
+              [
+                scenario "append_delete" (fun f ->
+                    f.Workload.Scenarios.append_delete_ms);
+                scenario "tmp_file" (fun f -> f.Workload.Scenarios.tmp_file_ms);
+                scenario "lookup" (fun f -> f.Workload.Scenarios.lookup_ms);
+              ] ))
+          flavors
+      in
+      printf "\nseed variance across %d derived seeds (mean ± 95%% CI, ms):\n"
+        (List.length seeds);
+      print_string
+        (Workload.Tables.render
+           ~header:[ "service"; "append-delete"; "tmp file"; "lookup" ]
+           (List.map
+              (fun (name, scenarios) ->
+                name :: List.map (fun (_, s) -> ci_cell s) scenarios)
+              cells));
+      Some
+        (J.Obj
+           (List.map
+              (fun (name, scenarios) ->
+                ( name,
+                  J.Obj
+                    (List.map (fun (label, s) -> (label, ci_to_json s)) scenarios)
+                ))
+              cells))
+
 let fig7 () =
   printf "== Fig. 7: single-client latency (simulated msec) ==\n\n";
-  let measured =
-    List.map
-      (fun (flavor, name) ->
-        let cluster = C.create ~seed:7L flavor in
-        let fig = Workload.Scenarios.run_fig7 ~repeats:12 cluster in
-        (name, fig, C.metrics cluster))
-      flavors
-  in
+  let measured = pmap (fig7_run ~seed:fig7_seed) flavors in
   let row op paper pick =
     let cells =
       List.map
@@ -82,7 +207,7 @@ let fig7 () =
     (Workload.Tables.render
        ~header:([ "Operation" ] @ List.map snd flavors @ [ "paper (G/R/N/V)" ])
        rows);
-  J.Obj
+  let base =
     [
       ( "flavors",
         J.List
@@ -111,42 +236,96 @@ let fig7 () =
                  ])
              measured) );
     ]
+  in
+  match fig7_variance () with
+  | None -> J.Obj base
+  | Some v -> J.Obj (base @ [ ("seed_variance", v) ])
 
 (* ---- Fig. 8: lookup throughput vs clients ------------------------- *)
 
 (* Like the paper, each point averages several independent runs; the
    port-cache assignment makes single runs noisy. *)
-let sweep_series flavor label ~seed measure =
-  let seeds = [ seed; Int64.add seed 37L; Int64.add seed 71L ] in
-  let series =
+let sweep_clients = [ 1; 2; 3; 4; 5; 6; 7 ]
+
+let replicate_seeds seed = [ seed; Int64.add seed 37L; Int64.add seed 71L ]
+
+(* The three per-flavor sweeps of Figs. 8 and 9, as one grid of
+   independent (flavor, clients, seed) runs fanned out over the pool.
+   Submission happens up front; the returned join re-assembles the
+   per-flavor series in submission order, so the series — and every
+   table printed from them — are identical at any --jobs level. *)
+let grid_submit ~flavor_offsets ~base measure =
+  let futures =
     List.map
-      (fun clients ->
-        let rates =
-          List.map
-            (fun seed ->
-              let cluster = C.create ~seed flavor in
-              (measure cluster ~clients).Workload.Throughput.per_second)
-            seeds
-        in
-        (clients, Workload.Stats.mean rates))
-      [ 1; 2; 3; 4; 5; 6; 7 ]
+      (fun (flavor, off) ->
+        List.map
+          (fun clients ->
+            List.map
+              (fun seed ->
+                psubmit (fun () ->
+                    let cluster = C.create ~seed flavor in
+                    (measure cluster ~clients).Workload.Throughput.per_second))
+              (replicate_seeds (Int64.add base off)))
+          sweep_clients)
+      flavor_offsets
   in
+  fun () ->
+    List.map
+      (fun per_flavor ->
+        List.map2
+          (fun clients futs ->
+            (clients, Workload.Stats.mean (List.map Sim.Pool.await futs)))
+          sweep_clients per_flavor)
+      futures
+
+let print_series label series =
   print_string
     (Workload.Tables.series ~title:label ~x_label:"clients" ~y_label:"ops/s"
        series);
-  printf "\n";
-  series
+  printf "\n"
 
 let saturation series = List.fold_left (fun acc (_, v) -> max acc v) 0.0 series
+
+(* [--seeds K] for the throughput figures: rerun the whole grid once per
+   derived base seed and summarise each flavor's saturation across the
+   reruns. Returns the (label, json) pair to append, printing a table. *)
+let sweep_variance ~flavor_offsets ~base ~labels measure =
+  match variance_seeds ~base with
+  | [] -> None
+  | bases ->
+      let joins =
+        List.map (fun b -> grid_submit ~flavor_offsets ~base:b measure) bases
+      in
+      let per_run = List.map (fun join -> List.map saturation (join ())) joins in
+      let cells =
+        List.mapi
+          (fun i label ->
+            (label, Workload.Stats.summarise (List.map (fun run -> List.nth run i) per_run)))
+          labels
+      in
+      printf "seed variance of saturation across %d derived seeds (mean ± 95%% CI):\n"
+        (List.length bases);
+      print_string
+        (Workload.Tables.render
+           ~header:[ "series"; "saturation ops/s" ]
+           (List.map (fun (label, s) -> [ label; ci_cell s ]) cells));
+      Some
+        ( "seed_variance",
+          J.Obj (List.map (fun (label, s) -> (label, ci_to_json s)) cells) )
+
+let fig8_flavor_offsets =
+  [ (C.Group_disk, 1L); (C.Group_nvram, 2L); (C.Rpc_pair, 3L) ]
 
 let fig8 () =
   printf "\n== Fig. 8: lookup throughput vs number of clients ==\n\n";
   let measure cluster ~clients = Workload.Throughput.lookups cluster ~clients in
-  let group = sweep_series C.Group_disk "Group service" ~seed:801L measure in
-  let nvram =
-    sweep_series C.Group_nvram "Group service + NVRAM" ~seed:802L measure
+  let join = grid_submit ~flavor_offsets:fig8_flavor_offsets ~base:800L measure in
+  let group, nvram, rpc =
+    match join () with [ g; n; r ] -> (g, n, r) | _ -> assert false
   in
-  let rpc = sweep_series C.Rpc_pair "RPC service" ~seed:803L measure in
+  print_series "Group service" group;
+  print_series "Group service + NVRAM" nvram;
+  print_series "RPC service" rpc;
   let params = Dirsvc.Params.default in
   printf "analytic upper bounds (paper: 1000 group / 666 RPC):\n";
   printf "  group: %.0f lookups/s   rpc: %.0f lookups/s\n"
@@ -155,25 +334,30 @@ let fig8 () =
   printf "measured saturation (paper: 652 group, 520 RPC):\n";
   printf "  group: %.0f   group+nvram: %.0f   rpc: %.0f\n" (saturation group)
     (saturation nvram) (saturation rpc);
+  let variance =
+    sweep_variance ~flavor_offsets:fig8_flavor_offsets ~base:800L
+      ~labels:[ "group"; "group_nvram"; "rpc" ] measure
+  in
   J.Obj
-    [
-      ("group", series_to_json group);
-      ("group_nvram", series_to_json nvram);
-      ("rpc", series_to_json rpc);
-      ( "analytic_bound",
-        J.Obj
-          [
-            ("group", J.Float (Workload.Bounds.read_bound params ~servers:3));
-            ("rpc", J.Float (Workload.Bounds.read_bound params ~servers:2));
-          ] );
-      ( "saturation",
-        J.Obj
-          [
-            ("group", J.Float (saturation group));
-            ("group_nvram", J.Float (saturation nvram));
-            ("rpc", J.Float (saturation rpc));
-          ] );
-    ]
+    ([
+       ("group", series_to_json group);
+       ("group_nvram", series_to_json nvram);
+       ("rpc", series_to_json rpc);
+       ( "analytic_bound",
+         J.Obj
+           [
+             ("group", J.Float (Workload.Bounds.read_bound params ~servers:3));
+             ("rpc", J.Float (Workload.Bounds.read_bound params ~servers:2));
+           ] );
+       ( "saturation",
+         J.Obj
+           [
+             ("group", J.Float (saturation group));
+             ("group_nvram", J.Float (saturation nvram));
+             ("rpc", J.Float (saturation rpc));
+           ] );
+     ]
+    @ Option.to_list variance)
 
 (* ---- Fig. 9: append-delete throughput vs clients ------------------ *)
 
@@ -182,29 +366,36 @@ let fig9 () =
   let measure cluster ~clients =
     Workload.Throughput.append_deletes cluster ~clients
   in
-  let group = sweep_series C.Group_disk "Group service" ~seed:901L measure in
-  let nvram =
-    sweep_series C.Group_nvram "Group service + NVRAM" ~seed:902L measure
+  let join = grid_submit ~flavor_offsets:fig8_flavor_offsets ~base:900L measure in
+  let group, nvram, rpc =
+    match join () with [ g; n; r ] -> (g, n, r) | _ -> assert false
   in
-  let rpc = sweep_series C.Rpc_pair "RPC service" ~seed:903L measure in
+  print_series "Group service" group;
+  print_series "Group service + NVRAM" nvram;
+  print_series "RPC service" rpc;
   printf "paper's saturation: 5 group / 5 RPC / 45 NVRAM pairs/s\n";
   printf "measured saturation: group %.1f, rpc %.1f, nvram %.1f\n"
     (saturation group) (saturation rpc) (saturation nvram);
   printf
     "(append and delete are both writes, so write throughput is twice these)\n";
+  let variance =
+    sweep_variance ~flavor_offsets:fig8_flavor_offsets ~base:900L
+      ~labels:[ "group"; "group_nvram"; "rpc" ] measure
+  in
   J.Obj
-    [
-      ("group", series_to_json group);
-      ("group_nvram", series_to_json nvram);
-      ("rpc", series_to_json rpc);
-      ( "saturation",
-        J.Obj
-          [
-            ("group", J.Float (saturation group));
-            ("group_nvram", J.Float (saturation nvram));
-            ("rpc", J.Float (saturation rpc));
-          ] );
-    ]
+    ([
+       ("group", series_to_json group);
+       ("group_nvram", series_to_json nvram);
+       ("rpc", series_to_json rpc);
+       ( "saturation",
+         J.Obj
+           [
+             ("group", J.Float (saturation group));
+             ("group_nvram", J.Float (saturation nvram));
+             ("rpc", J.Float (saturation rpc));
+           ] );
+     ]
+    @ Option.to_list variance)
 
 (* ---- §3.1 cost analysis: messages and disk ops per update ---------- *)
 
@@ -295,21 +486,28 @@ let costs () =
         ("disk_writes", J.Int (get "disk.delta"));
       ]
   in
-  (* Bind one at a time: list elements evaluate right-to-left, which would
-     flip the order of the printed report. *)
-  let group =
-    one_update C.Group_disk
-      "Group service (paper: 5 messages, 2 disk ops at each replica)"
+  (* The four measurements print as they go, so each runs captured on
+     the pool and the outputs replay in submission order. *)
+  let futures =
+    List.map
+      (fun (flavor, label) ->
+        psubmit (fun () -> captured (fun () -> one_update flavor label)))
+      [
+        ( C.Group_disk,
+          "Group service (paper: 5 messages, 2 disk ops at each replica)" );
+        ( C.Group_nvram,
+          "Group service + NVRAM (paper: no disk ops in the critical path)" );
+        (C.Rpc_pair, "RPC service (paper: 2 RPCs of 3 messages, 3 disk ops)");
+        (C.Nfs_single, "Sun NFS (1 RPC, 1 disk op)");
+      ]
   in
-  let nvram =
-    one_update C.Group_nvram
-      "Group service + NVRAM (paper: no disk ops in the critical path)"
-  in
-  let rpc =
-    one_update C.Rpc_pair "RPC service (paper: 2 RPCs of 3 messages, 3 disk ops)"
-  in
-  let nfs = one_update C.Nfs_single "Sun NFS (1 RPC, 1 disk op)" in
-  J.List [ group; nvram; rpc; nfs ]
+  J.List
+    (List.map
+       (fun fut ->
+         let out, value = Sim.Pool.await fut in
+         print_string out;
+         value)
+       futures)
 
 (* ---- Ablations ----------------------------------------------------- *)
 
@@ -353,19 +551,20 @@ let raw_send_latency r =
 let ablation_r () =
   printf "\n== Ablation: resilience degree r vs update latency ==\n";
   printf "(the paper's §1 trade-off: r buys fault tolerance with messages)\n\n";
-  let measured =
+  let rs = [ 0; 1; 2 ] in
+  let pair_futures =
     List.map
       (fun r ->
-        let params =
-          { Dirsvc.Params.default with resilience_override = Some r }
-        in
-        let cluster = C.create ~seed:23L ~params C.Group_disk in
-        let pair =
-          stats_mean (Workload.Scenarios.append_delete ~repeats:10 cluster)
-        in
-        (r, pair))
-      [ 0; 1; 2 ]
+        psubmit (fun () ->
+            let params =
+              { Dirsvc.Params.default with resilience_override = Some r }
+            in
+            let cluster = C.create ~seed:23L ~params C.Group_disk in
+            stats_mean (Workload.Scenarios.append_delete ~repeats:10 cluster)))
+      rs
   in
+  let raw_futures = List.map (fun r -> psubmit (fun () -> raw_send_latency r)) rs in
+  let measured = List.map2 (fun r fut -> (r, Sim.Pool.await fut)) rs pair_futures in
   let rows =
     List.map
       (fun (r, pair) ->
@@ -385,12 +584,12 @@ let ablation_r () =
        rows);
   printf "\nraw SendToGroup completion latency (no disk in the way):\n";
   let raw =
-    List.map
-      (fun r ->
-        let latency = raw_send_latency r in
+    List.map2
+      (fun r fut ->
+        let latency = Sim.Pool.await fut in
         printf "  r = %d: %.2f ms\n" r latency;
         (r, latency))
-      [ 0; 1; 2 ]
+      rs raw_futures
   in
   printf
     "disk time dominates end-to-end latency at any r - the paper's very point.\n";
@@ -412,7 +611,7 @@ let ablation_size () =
   printf "\n== Ablation: group size (3 vs 5 replicas) ==\n";
   printf "(the paper: the protocol is unchanged for four or more replicas)\n\n";
   let measured =
-    List.map
+    pmap
       (fun n ->
         let cluster = C.create ~seed:29L ~servers:n C.Group_disk in
         let pair =
@@ -451,19 +650,24 @@ let ablation_disk () =
   printf "\n== Ablation: disk latency scaling ==\n";
   printf "(the paper §5: disk operations are the major bottleneck)\n\n";
   let measured =
+    let futures =
+      List.map
+        (fun scale ->
+          let params =
+            Dirsvc.Params.with_disk_scale Dirsvc.Params.default scale
+          in
+          let run flavor =
+            psubmit (fun () ->
+                let cluster = C.create ~seed:31L ~params flavor in
+                stats_mean (Workload.Scenarios.append_delete ~repeats:8 cluster))
+          in
+          (scale, run C.Group_disk, run C.Group_nvram))
+        [ 0.25; 0.5; 1.0; 2.0 ]
+    in
     List.map
-      (fun scale ->
-        let params = Dirsvc.Params.with_disk_scale Dirsvc.Params.default scale in
-        let disk = C.create ~seed:31L ~params C.Group_disk in
-        let disk_pair =
-          stats_mean (Workload.Scenarios.append_delete ~repeats:8 disk)
-        in
-        let nvram = C.create ~seed:31L ~params C.Group_nvram in
-        let nvram_pair =
-          stats_mean (Workload.Scenarios.append_delete ~repeats:8 nvram)
-        in
-        (scale, disk_pair, nvram_pair))
-      [ 0.25; 0.5; 1.0; 2.0 ]
+      (fun (scale, disk_fut, nvram_fut) ->
+        (scale, Sim.Pool.await disk_fut, Sim.Pool.await nvram_fut))
+      futures
   in
   let rows =
     List.map
@@ -554,8 +758,12 @@ let ablation_method () =
     Sim.Engine.run ~until:2_000.0 engine;
     !result
   in
-  let pb = run Group.Types.Pb "PB:" in
-  let bb = run Group.Types.Bb "BB:" in
+  let pb_fut = psubmit (fun () -> captured (fun () -> run Group.Types.Pb "PB:")) in
+  let bb_fut = psubmit (fun () -> captured (fun () -> run Group.Types.Bb "BB:")) in
+  let pb_out, pb = Sim.Pool.await pb_fut in
+  print_string pb_out;
+  let bb_out, bb = Sim.Pool.await bb_fut in
+  print_string bb_out;
   printf
     "same ordering guarantees and latency; under BB the body crosses the\n\
      sequencer zero times - the win grows with message size.\n";
@@ -625,8 +833,16 @@ let availability () =
         ("rejoin_ms", J.Float rejoin);
       ]
   in
-  let follower = run 3 "follower server crash:" in
-  let sequencer = run 1 "sequencer-hosting crash:" in
+  let follower_fut =
+    psubmit (fun () -> captured (fun () -> run 3 "follower server crash:"))
+  in
+  let sequencer_fut =
+    psubmit (fun () -> captured (fun () -> run 1 "sequencer-hosting crash:"))
+  in
+  let follower_out, follower = Sim.Pool.await follower_fut in
+  print_string follower_out;
+  let sequencer_out, sequencer = Sim.Pool.await sequencer_fut in
+  print_string sequencer_out;
   printf
     "(outage = first refused update to first completed update; crash at t=500;\n lookups are served locally by the survivors and see no outage)\n";
   J.List [ follower; sequencer ]
@@ -754,7 +970,7 @@ let micro () =
 let mix () =
   printf "\n== Mixed workload: 98%% reads / 2%% updates (paper §2) ==\n\n";
   let measured =
-    List.map
+    pmap
       (fun (flavor, name) ->
         let cluster = C.create ~seed:55L flavor in
         (name, Workload.Mix.run cluster ~clients:5 ~read_fraction:0.98))
@@ -864,6 +1080,57 @@ let speed_scenarios quick =
         cluster_totals cluster point.Workload.Throughput.total_ops );
   ]
 
+(* The full figure grid (fig7's flavor runs plus every (flavor, clients,
+   seed) point of figs. 8 and 9) as a flat list of independent thunks —
+   the workload whose wall clock the --jobs fan-out is meant to cut.
+   [--quick] shrinks repeats and windows the same way the scenarios
+   above do. *)
+let grid_thunks quick =
+  let repeats = if quick then 3 else 12 in
+  let points = if quick then [ 3; 7 ] else sweep_clients in
+  let fig7_runs =
+    List.map
+      (fun (flavor, _) () ->
+        ignore
+          (Workload.Scenarios.run_fig7 ~repeats (C.create ~seed:fig7_seed flavor)))
+      flavors
+  in
+  let sweep_runs base measure =
+    List.concat_map
+      (fun (flavor, off) ->
+        List.concat_map
+          (fun clients ->
+            List.map
+              (fun seed () ->
+                let cluster = C.create ~seed flavor in
+                ignore (measure cluster ~clients))
+              (replicate_seeds (Int64.add base off)))
+          points)
+      fig8_flavor_offsets
+  in
+  let lookup_window = if quick then 500.0 else 2_000.0 in
+  let pair_window = if quick then 500.0 else 4_000.0 in
+  fig7_runs
+  @ sweep_runs 800L (fun cluster ~clients ->
+        Workload.Throughput.lookups cluster ~clients ~window:lookup_window)
+  @ sweep_runs 900L (fun cluster ~clients ->
+        Workload.Throughput.append_deletes cluster ~clients ~window:pair_window)
+
+(* Wall clock of the whole grid at 1/2/4 domains, each on a private
+   pool. Runs after the shared pool has drained (the driver sequences
+   the speed experiment behind every parallel one), so nothing else
+   competes for the cores. *)
+let measure_jobs_scaling quick =
+  List.map
+    (fun jobs ->
+      let runs = grid_thunks quick in
+      Gc.full_major ();
+      let t0 = Unix.gettimeofday () in
+      Sim.Pool.with_pool ~jobs (fun pool ->
+          ignore (Sim.Pool.map pool (fun f -> f ()) runs));
+      (jobs, Unix.gettimeofday () -. t0))
+    [ 1; 2; 4 ]
+
 let speed () =
   let quick = !speed_quick in
   printf "\n== Speed: wall-clock throughput of the simulation core ==\n";
@@ -889,9 +1156,36 @@ let speed () =
        ~header:
          [ "scenario"; "wall s"; "events/s"; "packets/s"; "ops"; "minor w/op" ]
        table_rows);
+  let scaling = measure_jobs_scaling quick in
+  let base_wall = match scaling with (1, w) :: _ -> w | _ -> nan in
+  printf "\njobs-scaling: full figure grid wall clock (%d cores available)\n"
+    (Domain.recommended_domain_count ());
+  print_string
+    (Workload.Tables.render
+       ~header:[ "jobs"; "grid wall s"; "speedup" ]
+       (List.map
+          (fun (jobs, wall) ->
+            [
+              string_of_int jobs;
+              Printf.sprintf "%.3f" wall;
+              Printf.sprintf "%.2fx" (base_wall /. wall);
+            ])
+          scaling));
   J.Obj
     [
       ("quick", J.Bool quick);
+      ("cores", J.Int (Domain.recommended_domain_count ()));
+      ( "jobs_scaling",
+        J.List
+          (List.map
+             (fun (jobs, wall) ->
+               J.Obj
+                 [
+                   ("jobs", J.Int jobs);
+                   ("grid_wall_s", J.Float wall);
+                   ("speedup", J.Float (base_wall /. wall));
+                 ])
+             scaling) );
       ( "scenarios",
         J.List
           (List.map
@@ -938,12 +1232,32 @@ let all_experiments =
    an experiment. *)
 type json_mode = Text | Json of string option
 
+(* The two real-time experiments must not share the machine with the
+   simulated-time grid: they run on the coordinator after every parallel
+   experiment has been joined. *)
+let timing_experiments = [ "micro"; "speed" ]
+
 let () =
+  let int_flag flag value rest k =
+    match int_of_string_opt value with
+    | Some n when n >= 1 -> k n rest
+    | _ ->
+        Printf.eprintf "%s expects a positive integer, got %S\n" flag value;
+        exit 2
+  in
   let rec parse names mode = function
     | [] -> (List.rev names, mode)
     | "--quick" :: rest ->
         speed_quick := true;
         parse names mode rest
+    | "--jobs" :: value :: rest ->
+        int_flag "--jobs" value rest (fun n rest ->
+            jobs_level := n;
+            parse names mode rest)
+    | "--seeds" :: value :: rest ->
+        int_flag "--seeds" value rest (fun n rest ->
+            seed_count := n;
+            parse names mode rest)
     | "--json" :: rest -> (
         match rest with
         | path :: rest'
@@ -958,34 +1272,65 @@ let () =
   let requested =
     if requested = [] then List.map fst all_experiments else requested
   in
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name all_experiments) then begin
+        Printf.eprintf "unknown experiment %S; available: %s\n" name
+          (String.concat " " (List.map fst all_experiments));
+        exit 1
+      end)
+    requested;
   (match mode with Json _ -> quiet := true | Text -> ());
-  let results =
+  (* Stage: submit every parallel experiment (captured, so its prints
+     replay in order), keep the real-time ones for the coordinator. With
+     --jobs 1 submission runs everything inline in submission order, so
+     the emitted bytes are identical at any jobs level. *)
+  let staged =
     List.map
       (fun name ->
-        match List.assoc_opt name all_experiments with
-        | Some f ->
-            let value = f () in
-            (match mode with
-            | Json _ ->
-                let file =
-                  Printf.sprintf "BENCH_%s.json"
-                    (String.map (function '-' -> '_' | c -> c) name)
-                in
-                let oc = open_out file in
-                output_string oc
-                  (J.to_string_pretty
-                     (J.Obj
-                        [ ("experiment", J.String name); ("result", value) ]));
-                output_char oc '\n';
-                close_out oc
-            | Text -> ());
-            (name, value)
-        | None ->
-            Printf.eprintf "unknown experiment %S; available: %s\n" name
-              (String.concat " " (List.map fst all_experiments));
-            exit 1)
+        let f = List.assoc name all_experiments in
+        if List.mem name timing_experiments then (name, `Seq f)
+        else (name, `Par (psubmit (fun () -> captured f))))
       requested
   in
+  let drain () =
+    List.iter
+      (fun (_, stage) ->
+        match stage with
+        | `Par fut -> ( try ignore (Sim.Pool.await fut) with _ -> ())
+        | `Seq _ -> ())
+      staged
+  in
+  let results =
+    List.map
+      (fun (name, stage) ->
+        let value =
+          match stage with
+          | `Par fut ->
+              let out, value = Sim.Pool.await fut in
+              print_string out;
+              value
+          | `Seq f ->
+              drain ();
+              f ()
+        in
+        (match mode with
+        | Json _ ->
+            let file =
+              Printf.sprintf "BENCH_%s.json"
+                (String.map (function '-' -> '_' | c -> c) name)
+            in
+            let oc = open_out file in
+            output_string oc
+              (J.to_string_pretty
+                 (J.Obj [ ("experiment", J.String name); ("result", value) ]));
+            output_char oc '\n';
+            close_out oc
+        | Text -> ());
+        (name, value))
+      staged
+  in
+  Sim.Pool.shutdown (pool ());
   match mode with
   | Text -> ()
   | Json target ->

@@ -2,8 +2,8 @@
    simulation.
 
      dirsim fig7  [--seed N] [--repeats N] [--disk-ms MS]
-     dirsim fig8  [--seed N] [--clients N]
-     dirsim fig9  [--seed N] [--clients N]
+     dirsim fig8  [--seed N] [--clients N] [--jobs N]
+     dirsim fig9  [--seed N] [--clients N] [--jobs N]
      dirsim demo  [--flavor group|nvram|rpc|nfs]
      dirsim drill [--seed N]          # crash + recovery fault drill
      dirsim trace [--contains TEXT] [--until MS]   # annotated timeline
@@ -46,6 +46,13 @@ let repeats_arg =
 let clients_arg =
   let doc = "Maximum number of concurrent clients to sweep." in
   Cmdliner.Arg.(value & opt int 7 & info [ "clients" ] ~docv:"N" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Run sweep points on $(docv) domains. Output is byte-identical for \
+     every value; 1 runs everything inline."
+  in
+  Cmdliner.Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
 
 let trace_out_arg =
   let doc =
@@ -158,9 +165,9 @@ let run_fig7 seed repeats disk_ms trace_out show_metrics =
 
 (* ---- fig8 / fig9 ------------------------------------------------------ *)
 
-let sweep title seed max_clients measure flavor =
+let sweep ~pool title seed max_clients measure flavor =
   let points =
-    Workload.Throughput.sweep
+    Workload.Throughput.sweep ~pool
       (fun () -> C.create ~seed:(Int64.of_int seed) flavor)
       measure
       (List.init max_clients (fun i -> i + 1))
@@ -172,23 +179,27 @@ let sweep title seed max_clients measure flavor =
             (p.Workload.Throughput.clients, p.Workload.Throughput.per_second))
           points))
 
-let run_fig8 seed clients =
+let run_fig8 seed clients jobs =
   printf "Fig. 8 lookup throughput (seed %d):\n\n" seed;
-  sweep "group service (lookups/s)" seed clients
-    (fun cluster ~clients -> Workload.Throughput.lookups cluster ~clients)
-    C.Group_disk;
-  sweep "rpc service (lookups/s)" (seed + 1) clients
-    (fun cluster ~clients -> Workload.Throughput.lookups cluster ~clients)
-    C.Rpc_pair
+  Sim.Pool.with_pool ~jobs (fun pool ->
+      sweep ~pool "group service (lookups/s)" seed clients
+        (fun cluster ~clients -> Workload.Throughput.lookups cluster ~clients)
+        C.Group_disk;
+      sweep ~pool "rpc service (lookups/s)" (seed + 1) clients
+        (fun cluster ~clients -> Workload.Throughput.lookups cluster ~clients)
+        C.Rpc_pair)
 
-let run_fig9 seed clients =
+let run_fig9 seed clients jobs =
   printf "Fig. 9 append-delete throughput (seed %d):\n\n" seed;
-  sweep "group service (pairs/s)" seed clients
-    (fun cluster ~clients -> Workload.Throughput.append_deletes cluster ~clients)
-    C.Group_disk;
-  sweep "group+nvram (pairs/s)" (seed + 1) clients
-    (fun cluster ~clients -> Workload.Throughput.append_deletes cluster ~clients)
-    C.Group_nvram
+  Sim.Pool.with_pool ~jobs (fun pool ->
+      sweep ~pool "group service (pairs/s)" seed clients
+        (fun cluster ~clients ->
+          Workload.Throughput.append_deletes cluster ~clients)
+        C.Group_disk;
+      sweep ~pool "group+nvram (pairs/s)" (seed + 1) clients
+        (fun cluster ~clients ->
+          Workload.Throughput.append_deletes cluster ~clients)
+        C.Group_nvram)
 
 (* ---- demo ------------------------------------------------------------ *)
 
@@ -306,12 +317,12 @@ let fig7_cmd =
 let fig8_cmd =
   Cmd.v
     (Cmd.info "fig8" ~doc:"Reproduce Fig. 8 (lookup throughput sweep).")
-    Term.(const run_fig8 $ seed_arg $ clients_arg)
+    Term.(const run_fig8 $ seed_arg $ clients_arg $ jobs_arg)
 
 let fig9_cmd =
   Cmd.v
     (Cmd.info "fig9" ~doc:"Reproduce Fig. 9 (append-delete throughput sweep).")
-    Term.(const run_fig9 $ seed_arg $ clients_arg)
+    Term.(const run_fig9 $ seed_arg $ clients_arg $ jobs_arg)
 
 let demo_cmd =
   Cmd.v

@@ -1,0 +1,138 @@
+(* One mutex + one condition variable guard everything: the task queue,
+   every future's state, and the closed flag. Tasks here are whole
+   simulation runs (milliseconds to seconds each), so lock traffic is a
+   handful of transitions per task and contention is irrelevant; what
+   matters is that the blocking structure is simple enough to see that
+   it cannot deadlock. The one wrinkle is help-first await: a domain
+   waiting on a future runs queued tasks instead of sleeping, so a task
+   that fans out sub-tasks and joins them never wedges the pool even
+   when every worker is inside such a join — the dependency graph of
+   futures is acyclic (a future can only be awaited after it was
+   submitted), so some domain always holds a runnable task. *)
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  cond : Condition.t; (* broadcast on: new task, task done, shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type 'a future = { pool : t; mutable state : 'a state }
+
+let jobs t = t.jobs
+
+let rec worker pool =
+  Mutex.lock pool.mutex;
+  let rec next () =
+    if not (Queue.is_empty pool.queue) then begin
+      let task = Queue.pop pool.queue in
+      Mutex.unlock pool.mutex;
+      task ();
+      worker pool
+    end
+    else if pool.closed then Mutex.unlock pool.mutex
+    else begin
+      Condition.wait pool.cond pool.mutex;
+      next ()
+    end
+  in
+  next ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    pool.workers <-
+      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let run_to_state f =
+  match f () with v -> Done v | exception e -> Failed e
+
+let submit pool f =
+  let fut = { pool; state = Pending } in
+  if pool.jobs <= 1 then begin
+    if pool.closed then invalid_arg "Pool.submit: pool is shut down";
+    fut.state <- run_to_state f;
+    fut
+  end
+  else begin
+    let task () =
+      let result = run_to_state f in
+      Mutex.lock pool.mutex;
+      fut.state <- result;
+      Condition.broadcast pool.cond;
+      Mutex.unlock pool.mutex
+    in
+    Mutex.lock pool.mutex;
+    if pool.closed then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.push task pool.queue;
+    Condition.broadcast pool.cond;
+    Mutex.unlock pool.mutex;
+    fut
+  end
+
+let await fut =
+  let pool = fut.pool in
+  if pool.jobs <= 1 then
+    match fut.state with
+    | Done v -> v
+    | Failed e -> raise e
+    | Pending -> assert false (* inline submit always resolves *)
+  else begin
+    Mutex.lock pool.mutex;
+    let rec loop () =
+      match fut.state with
+      | Done v ->
+          Mutex.unlock pool.mutex;
+          v
+      | Failed e ->
+          Mutex.unlock pool.mutex;
+          raise e
+      | Pending ->
+          if not (Queue.is_empty pool.queue) then begin
+            let task = Queue.pop pool.queue in
+            Mutex.unlock pool.mutex;
+            task ();
+            Mutex.lock pool.mutex;
+            loop ()
+          end
+          else begin
+            Condition.wait pool.cond pool.mutex;
+            loop ()
+          end
+    in
+    loop ()
+  end
+
+let map pool f items =
+  let futures = List.map (fun item -> submit pool (fun () -> f item)) items in
+  List.map await futures
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.closed <- true;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -15,6 +15,17 @@ let int64 t = next_raw t
 
 let split t = create (next_raw t)
 
+(* Multi-seed sweeps: seed i is exactly the seed [split] would hand the
+   (i+1)-th subsystem of a generator created from [base], so derived
+   runs are as independent of each other as subsystem streams are. *)
+let derive ~base count =
+  if count < 0 then invalid_arg "Rng.derive: negative count";
+  let t = create base in
+  let rec go i acc =
+    if i = count then List.rev acc else go (i + 1) ((split t).state :: acc)
+  in
+  go 0 []
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Keep 62 bits so the value stays non-negative as a native int. *)

@@ -13,6 +13,13 @@ val create : int64 -> t
     subsystems their own streams without coupling their consumption. *)
 val split : t -> t
 
+(** [derive ~base count] returns [count] independent seeds determined by
+    [base] — seed [i] is the one [split] would give the [i+1]-th
+    subsystem of [create base]. The multi-seed sweep harnesses use this
+    so a whole [--seeds K] grid is reproducible from one base seed.
+    Raises [Invalid_argument] on a negative count. *)
+val derive : base:int64 -> int -> int64 list
+
 val int64 : t -> int64
 
 (** [int rng bound] draws uniformly from [0, bound). Raises

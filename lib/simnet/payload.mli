@@ -15,7 +15,10 @@ type t += Opaque of string
     first-registration order until one returns [Some]. Registration is
     keyed by [name] and idempotent: registering the same name again
     replaces the previous printer in place, so module initializers that
-    run more than once per process do not accumulate duplicates. *)
+    run more than once per process do not accumulate duplicates.
+    Thread-safe: the registry is an immutable list updated by CAS, so
+    concurrent registrations from parallel sweep domains cannot drop
+    one another. *)
 val register_printer : name:string -> (t -> string option) -> unit
 
 val to_string : t -> string

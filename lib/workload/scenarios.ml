@@ -114,6 +114,10 @@ let lookup ?(repeats = 50) cluster =
       List.init repeats (fun _ ->
           timed (fun () -> ignore (Dirsvc.Client.lookup client cap "target"))))
 
+(* Seed plumbing for multi-seed sweeps: one base seed deterministically
+   names the whole family of reruns. *)
+let derive_seeds ~base count = Sim.Rng.derive ~base count
+
 let run_fig7 ?repeats cluster =
   let append_delete_ms = Stats.summarise (append_delete ?repeats cluster) in
   let tmp_file_ms = Stats.summarise (tmp_file ?repeats cluster) in

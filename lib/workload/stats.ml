@@ -2,6 +2,7 @@ type summary = {
   n : int;
   mean : float;
   stddev : float;
+  ci95 : float;
   min : float;
   max : float;
   p50 : float;
@@ -22,6 +23,30 @@ let stddev = function
         List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 samples
       in
       sqrt (sum_sq /. float_of_int (List.length samples - 1))
+
+(* Two-sided 95% critical values of Student's t, df 1..30; beyond that
+   the normal 1.96 is within half a percent. Multi-seed sweeps run with
+   K of 2..10, squarely where the normal approximation would overstate
+   confidence (df=1 needs 12.7 sigma-of-the-mean, not 1.96). *)
+let t_table_95 =
+  [|
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let t95 ~df =
+  if df <= 0 then 0.0
+  else if df <= Array.length t_table_95 then t_table_95.(df - 1)
+  else 1.960
+
+(* Half-width of the 95% confidence interval of the mean. 0 for a
+   single sample: no spread information, and the callers that tabulate
+   "mean ± ci" degrade to a bare point estimate. *)
+let ci95 samples =
+  let n = List.length samples in
+  if n <= 1 then 0.0
+  else t95 ~df:(n - 1) *. stddev samples /. sqrt (float_of_int n)
 
 (* Nearest-rank on a sorted array. Array indexing instead of List.nth
    keeps multi-percentile summaries O(n log n) overall, and Float.compare
@@ -49,6 +74,7 @@ let summarise samples =
         n = Array.length sorted;
         mean = mean samples;
         stddev = stddev samples;
+        ci95 = ci95 samples;
         min = sorted.(0);
         max = sorted.(Array.length sorted - 1);
         p50 = percentile_sorted sorted 50.0;
@@ -58,8 +84,9 @@ let summarise samples =
 
 let pp_summary fmt s =
   Format.fprintf fmt
-    "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f" s.n
-    s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max
+    "n=%d mean=%.2f sd=%.2f ci95=%.2f min=%.2f p50=%.2f p95=%.2f p99=%.2f \
+     max=%.2f"
+    s.n s.mean s.stddev s.ci95 s.min s.p50 s.p95 s.p99 s.max
 
 let summary_to_json s =
   Sim.Json.Obj
@@ -67,6 +94,7 @@ let summary_to_json s =
       ("n", Sim.Json.Int s.n);
       ("mean", Sim.Json.Float s.mean);
       ("stddev", Sim.Json.Float s.stddev);
+      ("ci95", Sim.Json.Float s.ci95);
       ("min", Sim.Json.Float s.min);
       ("max", Sim.Json.Float s.max);
       ("p50", Sim.Json.Float s.p50);

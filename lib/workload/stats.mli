@@ -3,7 +3,10 @@
 type summary = {
   n : int;
   mean : float;
-  stddev : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  ci95 : float;
+      (** half-width of the 95% confidence interval of the mean
+          (Student-t for small n); 0 when n <= 1 *)
   min : float;
   max : float;
   p50 : float;
@@ -17,6 +20,15 @@ val summarise : float list -> summary
 val mean : float list -> float
 
 val stddev : float list -> float
+
+(** Two-sided 95% Student-t critical value for [df] degrees of freedom
+    (1.96 beyond df=30, 0 for df <= 0). *)
+val t95 : df:int -> float
+
+(** [ci95 samples] is the half-width of the 95% confidence interval of
+    the sample mean: [t95 ~df:(n-1) * stddev / sqrt n]. 0 when fewer
+    than two samples. *)
+val ci95 : float list -> float
 
 (** [percentile p samples] with [p] in 0..100 (nearest-rank). *)
 val percentile : float -> float list -> float

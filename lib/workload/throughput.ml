@@ -126,9 +126,15 @@ let append_deletes ?(warmup = 500.0) ?(window = 4_000.0) cluster ~clients =
   in
   run_window cluster ~warmup ~window ~clients ~setup ~op
 
-let sweep make_cluster measure points =
-  List.map
-    (fun clients ->
-      let cluster = make_cluster () in
-      measure cluster ~clients)
-    points
+(* Every point builds a fresh deployment, so points share nothing and
+   can fan out over a domain pool; Pool.map joins in submission order,
+   so the returned list (and anything printed from it) is identical for
+   any pool size. *)
+let sweep ?pool make_cluster measure points =
+  let run clients =
+    let cluster = make_cluster () in
+    measure cluster ~clients
+  in
+  match pool with
+  | None -> List.map run points
+  | Some pool -> Sim.Pool.map pool run points

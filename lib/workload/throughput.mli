@@ -33,8 +33,12 @@ val append_deletes :
   ?warmup:float -> ?window:float -> Dirsvc.Cluster.t -> clients:int -> point
 
 (** [sweep make_cluster measure points] runs [measure] on a fresh
-    deployment per client count — like the paper's separate runs. *)
+    deployment per client count — like the paper's separate runs. With
+    [?pool] the points run concurrently on the pool's domains; results
+    come back in point order either way, so output is identical for any
+    pool size. *)
 val sweep :
+  ?pool:Sim.Pool.t ->
   (unit -> Dirsvc.Cluster.t) ->
   (Dirsvc.Cluster.t -> clients:int -> point) ->
   int list ->

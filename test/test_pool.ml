@@ -1,0 +1,146 @@
+(* Model tests for the domain worker pool (Sim.Pool) plus the headline
+   guarantee of the parallel sweep runner: the same figure grid run at
+   jobs=1 and jobs=4 serializes to byte-identical JSON. *)
+
+module Pool = Sim.Pool
+
+(* Deterministic busy-work so tasks finish out of submission order:
+   task durations are drawn from a seeded Rng, so the schedule is
+   scrambled but the test itself is reproducible. *)
+let spin n =
+  let acc = ref 0 in
+  for i = 1 to n do
+    acc := !acc + (i land 7)
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let test_map_preserves_submission_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let rng = Sim.Rng.create 42L in
+      let spins = List.init 40 (fun _ -> Sim.Rng.int rng 200_000) in
+      let results =
+        Pool.map pool
+          (fun (i, s) ->
+            spin s;
+            i)
+          (List.mapi (fun i s -> (i, s)) spins)
+      in
+      Alcotest.(check (list int))
+        "results join in submission order, not completion order"
+        (List.init 40 Fun.id) results)
+
+let test_exception_surfaces_at_await () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let futs =
+        List.init 8 (fun i ->
+            Pool.submit pool (fun () ->
+                if i = 4 then failwith "boom";
+                i * 10))
+      in
+      List.iteri
+        (fun i fut ->
+          if i = 4 then
+            Alcotest.check_raises "worker exception re-raised at await"
+              (Failure "boom") (fun () -> ignore (Pool.await fut))
+          else Alcotest.(check int) "healthy task result" (i * 10) (Pool.await fut))
+        futs;
+      (* The pool must not wedge after a failed task: awaiting the same
+         failed future again re-raises, and new work still runs. *)
+      Alcotest.check_raises "await is idempotent on failure" (Failure "boom")
+        (fun () -> ignore (Pool.await (List.nth futs 4)));
+      let after = Pool.await (Pool.submit pool (fun () -> 99)) in
+      Alcotest.(check int) "pool still functional after failure" 99 after)
+
+let test_jobs1_runs_inline () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs accessor" 1 (Pool.jobs pool);
+      let order = ref [] in
+      let futs =
+        List.init 5 (fun i ->
+            Pool.submit pool (fun () ->
+                order := i :: !order;
+                i))
+      in
+      (* With jobs=1 the task body runs inside submit, so every side
+         effect is visible before the first await. *)
+      Alcotest.(check (list int)) "tasks ran at submit time" [ 4; 3; 2; 1; 0 ]
+        !order;
+      Alcotest.(check (list int)) "await returns stored values"
+        [ 0; 1; 2; 3; 4 ]
+        (List.map Pool.await futs))
+
+let test_nested_fan_out () =
+  (* A task that itself fans out over the pool and awaits the sub-tasks.
+     With blocking awaits this deadlocks once tasks occupy every worker;
+     the help-first await must run queued sub-tasks instead of waiting. *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let outer =
+        Pool.map pool
+          (fun i ->
+            let inner = Pool.map pool (fun j -> (10 * i) + j) [ 0; 1; 2 ] in
+            List.fold_left ( + ) 0 inner)
+          [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+      in
+      Alcotest.(check (list int)) "nested maps complete"
+        (List.map (fun i -> (30 * i) + 3) [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+        outer)
+
+(* A miniature fig8: a (flavor x clients x seed) grid measured through
+   the pool and serialized, the way bench/main.exe --json does it. Byte
+   equality across jobs levels is the tentpole guarantee — parallelism
+   may reorder execution but never observable output. *)
+let mini_fig8_json ~jobs =
+  Pool.with_pool ~jobs (fun pool ->
+      let series flavor seed =
+        let points =
+          Workload.Throughput.sweep ~pool
+            (fun () -> Dirsvc.Cluster.create ~seed flavor)
+            (fun cluster ~clients ->
+              Workload.Throughput.lookups ~warmup:200.0 ~window:500.0 cluster
+                ~clients)
+            [ 1; 3 ]
+        in
+        Sim.Json.List
+          (List.map
+             (fun p ->
+               Sim.Json.Obj
+                 [
+                   ("clients", Sim.Json.Int p.Workload.Throughput.clients);
+                   ("per_second", Sim.Json.Float p.Workload.Throughput.per_second);
+                 ])
+             points)
+      in
+      let json =
+        Sim.Json.Obj
+          (List.concat_map
+             (fun (label, flavor) ->
+               List.map
+                 (fun seed ->
+                   (Printf.sprintf "%s_%Ld" label seed, series flavor seed))
+                 [ 801L; 838L ])
+             [
+               ("group", Dirsvc.Cluster.Group_disk);
+               ("rpc", Dirsvc.Cluster.Rpc_pair);
+             ])
+      in
+      Sim.Json.to_string json)
+
+let test_grid_json_identical_across_jobs () =
+  let j1 = mini_fig8_json ~jobs:1 in
+  let j4 = mini_fig8_json ~jobs:4 in
+  Alcotest.(check string) "jobs=1 and jobs=4 grids byte-identical" j1 j4;
+  Alcotest.(check string) "digests agree"
+    (Digest.to_hex (Digest.string j1))
+    (Digest.to_hex (Digest.string j4))
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    tc "map preserves submission order" `Quick
+      test_map_preserves_submission_order;
+    tc "exception surfaces at await" `Quick test_exception_surfaces_at_await;
+    tc "jobs=1 runs inline" `Quick test_jobs1_runs_inline;
+    tc "nested fan-out does not deadlock" `Quick test_nested_fan_out;
+    tc "grid JSON identical across jobs" `Quick
+      test_grid_json_identical_across_jobs;
+  ]

@@ -34,6 +34,35 @@ let test_stats_p99 () =
   let p50 = Workload.Stats.percentile 50.0 with_nan in
   Alcotest.(check (float 1e-9)) "nan-tolerant sort" 49.0 p50
 
+let test_stats_ci95 () =
+  (* Hand-computed fixtures. [1;2;3;4;5]: sd = sqrt 2.5, t95(df=4) =
+     2.776, so ci95 = 2.776 * sqrt 2.5 / sqrt 5 = 1.96292... *)
+  let s = Workload.Stats.summarise [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check (float 1e-4)) "five samples" 1.9629 s.Workload.Stats.ci95;
+  (* Two samples: sd = 7.0711, t95(df=1) = 12.706, ci95 = 12.706 * 5. *)
+  Alcotest.(check (float 1e-2)) "two samples" 63.53
+    (Workload.Stats.ci95 [ 10.0; 20.0 ]);
+  (* Degenerate cases: no spread without at least two samples. *)
+  Alcotest.(check (float 1e-9)) "single sample" 0.0
+    (Workload.Stats.ci95 [ 42.0 ]);
+  Alcotest.(check (float 1e-9)) "single-sample summary" 0.0
+    (Workload.Stats.summarise [ 42.0 ]).Workload.Stats.ci95
+
+let test_stats_t95_boundaries () =
+  Alcotest.(check (float 1e-4)) "df=1" 12.706 (Workload.Stats.t95 ~df:1);
+  Alcotest.(check (float 1e-4)) "df=30 (table edge)" 2.042
+    (Workload.Stats.t95 ~df:30);
+  Alcotest.(check (float 1e-4)) "df=31 falls back to normal" 1.96
+    (Workload.Stats.t95 ~df:31);
+  Alcotest.(check (float 1e-9)) "df=0 degenerate" 0.0
+    (Workload.Stats.t95 ~df:0);
+  (* Large n uses the 1.96 normal factor throughout. *)
+  let samples = List.init 40 (fun i -> float_of_int i) in
+  let n = float_of_int (List.length samples) in
+  let expected = 1.96 *. Workload.Stats.stddev samples /. sqrt n in
+  Alcotest.(check (float 1e-9)) "n=40 matches normal formula" expected
+    (Workload.Stats.ci95 samples)
+
 let test_stats_empty_raises () =
   Alcotest.check_raises "summarise []" (Invalid_argument "Stats.summarise: empty")
     (fun () -> ignore (Workload.Stats.summarise []))
@@ -119,6 +148,8 @@ let suite =
     tc "stats summary" `Quick test_stats_summary;
     tc "stats percentile" `Quick test_stats_percentile;
     tc "stats p99" `Quick test_stats_p99;
+    tc "stats ci95 fixtures" `Quick test_stats_ci95;
+    tc "stats t95 boundaries" `Quick test_stats_t95_boundaries;
     tc "stats empty raises" `Quick test_stats_empty_raises;
     QCheck_alcotest.to_alcotest stats_mean_property;
     tc "table render" `Quick test_table_render;
