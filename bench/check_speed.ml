@@ -98,6 +98,47 @@ let parallel_gate () =
         end
       end
 
+(* Group-commit gate: the scaled update scenario with sequencer batching
+   on (batch_max = 8) must allocate at most 480k minor words per
+   completed op — the unbatched build sits at ~687k, so this enforces
+   the >= 30% reduction batching is for (the current build measures
+   ~155k) — and must average strictly under one durable commit per op
+   (~0.5 today; 1.0 would mean group commit stopped grouping). The
+   seed-fixed run makes both numbers exact for a given build.
+   DIRSIM_SKIP_ALLOC_GATE=1 skips it, for instrumented builds whose
+   allocation profile is legitimately different. *)
+
+let alloc_gate () =
+  match Sys.getenv_opt "DIRSIM_SKIP_ALLOC_GATE" with
+  | Some _ ->
+      Printf.printf "alloc gate: skipped (DIRSIM_SKIP_ALLOC_GATE is set)\n"
+  | None ->
+      let params = { Dirsvc.Params.default with batch_max = 8 } in
+      Gc.full_major ();
+      let minor0 = Gc.minor_words () in
+      let cluster = C.create ~seed:5001L ~params ~servers:5 C.Group_disk in
+      let point =
+        Workload.Throughput.append_deletes cluster ~clients:50 ~window:2_000.0
+      in
+      let minor = Gc.minor_words () -. minor0 in
+      let ops = point.Workload.Throughput.total_ops in
+      let commits = Sim.Metrics.count (C.metrics cluster) "dirsvc.commit" in
+      let mw_op = minor /. float_of_int ops in
+      let c_op = float_of_int commits /. float_of_int ops in
+      let ok = mw_op <= 480_000.0 && c_op < 1.0 in
+      Printf.printf
+        "alloc gate: batched scaled run  %d ops  %.0f minor words/op (ceiling \
+         480000)  %.3f commits/op (ceiling < 1.0) %s\n"
+        ops mw_op c_op
+        (if ok then "ok" else "FAIL");
+      if not ok then begin
+        Printf.eprintf
+          "check_speed: batched group commit is not paying for itself — \
+           either the per-op allocation regressed past 480k minor words or \
+           durable commits are back to one per update.\n";
+        exit 1
+      end
+
 let () =
   let failed = ref [] in
   List.iter
@@ -121,4 +162,5 @@ let () =
          see DESIGN.md on timers and event-count engineering.\n"
         (String.concat ", " (List.rev names));
       exit 1);
+  alloc_gate ();
   parallel_gate ()

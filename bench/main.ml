@@ -1131,6 +1131,29 @@ let measure_jobs_scaling quick =
       (jobs, Unix.gettimeofday () -. t0))
     [ 1; 2; 4 ]
 
+(* Batch-efficiency: the scaled update scenario with sequencer batching
+   and group commit on vs off. batch = 1 is the wire-identical unbatched
+   protocol; its servers commit once per update by construction and the
+   [dirsvc.commit] counter does not exist, so commits/op is reported
+   only for batched runs. *)
+let measure_batch quick batch =
+  let clients = if quick then 12 else 50 in
+  let window = if quick then 500.0 else 2_000.0 in
+  let params = { Dirsvc.Params.default with batch_max = batch } in
+  Gc.full_major ();
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let cluster = C.create ~seed:5001L ~params ~servers:5 C.Group_disk in
+  let point = Workload.Throughput.append_deletes cluster ~clients ~window in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. minor0 in
+  ( batch,
+    wall_s,
+    point.Workload.Throughput.total_ops,
+    Sim.Engine.events_executed (C.engine cluster),
+    Sim.Metrics.count (C.metrics cluster) "dirsvc.commit",
+    minor_words )
+
 let speed () =
   let quick = !speed_quick in
   printf "\n== Speed: wall-clock throughput of the simulation core ==\n";
@@ -1156,6 +1179,28 @@ let speed () =
        ~header:
          [ "scenario"; "wall s"; "events/s"; "packets/s"; "ops"; "minor w/op" ]
        table_rows);
+  let batch_points = if quick then [ 1; 4 ] else [ 1; 4; 8 ] in
+  let batch_rows = List.map (measure_batch quick) batch_points in
+  printf "\nbatch-efficiency: scaled update scenario, group commit on/off\n";
+  print_string
+    (Workload.Tables.render
+       ~header:
+         [ "batch"; "wall s"; "ops"; "events/op"; "commits/op"; "minor w/op" ]
+       (List.map
+          (fun (batch, wall_s, ops, events, commits, minor_words) ->
+            [
+              string_of_int batch;
+              Printf.sprintf "%.3f" wall_s;
+              string_of_int ops;
+              (if ops = 0 then "-"
+               else Printf.sprintf "%.1f" (float_of_int events /. float_of_int ops));
+              (if batch <= 1 || ops = 0 then "-"
+               else
+                 Printf.sprintf "%.3f" (float_of_int commits /. float_of_int ops));
+              (if ops = 0 then "-"
+               else Printf.sprintf "%.0f" (minor_words /. float_of_int ops));
+            ])
+          batch_rows));
   let scaling = measure_jobs_scaling quick in
   let base_wall = match scaling with (1, w) :: _ -> w | _ -> nan in
   printf "\njobs-scaling: full figure grid wall clock (%d cores available)\n"
@@ -1175,6 +1220,28 @@ let speed () =
     [
       ("quick", J.Bool quick);
       ("cores", J.Int (Domain.recommended_domain_count ()));
+      ( "batch_efficiency",
+        J.List
+          (List.map
+             (fun (batch, wall_s, ops, events, commits, minor_words) ->
+               J.Obj
+                 [
+                   ("batch_max", J.Int batch);
+                   ("wall_s", J.Float wall_s);
+                   ("ops", J.Int ops);
+                   ("events", J.Int events);
+                   ( "events_per_op",
+                     if ops = 0 then J.Null
+                     else J.Float (float_of_int events /. float_of_int ops) );
+                   ( "commits_per_op",
+                     if batch <= 1 || ops = 0 then J.Null
+                     else J.Float (float_of_int commits /. float_of_int ops) );
+                   ("minor_words", J.Float minor_words);
+                   ( "minor_words_per_op",
+                     if ops = 0 then J.Null
+                     else J.Float (minor_words /. float_of_int ops) );
+                 ])
+             batch_rows) );
       ( "jobs_scaling",
         J.List
           (List.map

@@ -55,6 +55,16 @@ type t = {
   mutable last_update : float; (* for the NVRAM idle flush *)
   mutable op_log : applied list; (* newest first; see applied_log *)
   mutable forced_recovery : bool; (* administrator's escape hatch *)
+  (* Group commit (params.batch_max > 1). [pending] stages the records
+     of the delivery burst being processed; one flush makes them all
+     stable at once. In disk mode the flushed records move to [glog] —
+     the in-memory copy of the commit block's log — until the [dirty]
+     directories' own blocks are rewritten in the background, which
+     happens when the group goes quiet or the log outgrows block 0. *)
+  mutable pending : log_record list; (* newest first *)
+  mutable glog : log_record list; (* newest first *)
+  dirty : (int, unit) Hashtbl.t;
+  c_commit : Sim.Metrics.handle option;
 }
 
 let server_id t = t.server_id
@@ -142,15 +152,18 @@ let current_vector t =
   in
   Array.init (n_servers t) (fun i -> up (i + 1))
 
-let write_commit_block t ~recovering =
-  Storage.Commit_block.write t.device
-    {
-      Storage.Commit_block.config_vector = current_vector t;
-      seqno = t.useq;
-      recovering;
-    }
-
 (* ---- Commit paths -------------------------------------------------- *)
+
+let batched t = t.params.Params.batch_max > 1
+
+let count_commit t =
+  match t.c_commit with
+  | Some h -> Sim.Metrics.incr_handle h
+  | None -> ()
+
+let encode_glog t =
+  Wire.encode_log_records
+    (List.rev_map (fun (r : log_record) -> (r.useq, r.dir_id, r.op)) t.glog)
 
 let retire_old_file t dir_id =
   match Directory.Store.find_opt dir_id t.file_caps with
@@ -171,9 +184,33 @@ let rec bullet_create_with_retry t data tries =
       Sim.Timer.sleep 25.0;
       bullet_create_with_retry t data (tries - 1)
 
+(* The commit block carries the group-commit log; when the encoded log
+   no longer fits beside the header in block 0, the log is applied to
+   the per-directory blocks first (clearing it) — hence the mutual
+   recursion with [persist_dir_to_disk], whose deletion branch writes
+   the commit block in turn. That inner write always sees an empty log,
+   so the recursion terminates after one level. *)
+let rec write_commit_block t ~recovering =
+  let log = encode_glog t in
+  let log =
+    if String.length log + 64 <= Storage.Block_device.block_size t.device then
+      log
+    else begin
+      persist_dirty t;
+      ""
+    end
+  in
+  Storage.Commit_block.write t.device
+    {
+      Storage.Commit_block.config_vector = current_vector t;
+      seqno = t.useq;
+      recovering;
+      log;
+    }
+
 (* Persist directory [dir_id]'s current state: new Bullet file + object
    table entry, or tombstone + commit block on deletion. *)
-let persist_dir_to_disk t dir_id =
+and persist_dir_to_disk t dir_id =
   match Directory.Store.find_opt dir_id t.store with
   | Some dir ->
       let data = Directory.encode_dir dir in
@@ -189,6 +226,17 @@ let persist_dir_to_disk t dir_id =
       write_commit_block t ~recovering:false;
       retire_old_file t dir_id
 
+(* Apply the group-commit log to the per-directory blocks: rewrite every
+   dirty directory, then forget the log. The stale copy left in block 0
+   is harmless — boot-time replay is idempotent (a record is skipped
+   when the directory's own seqno already covers it), so the log needs
+   no extra disk write to be truncated. *)
+and persist_dirty t =
+  t.glog <- [];
+  let dirty = Hashtbl.fold (fun d () acc -> d :: acc) t.dirty [] in
+  Hashtbl.reset t.dirty;
+  List.iter (persist_dir_to_disk t) (List.sort compare dirty)
+
 let nvram_flush t nv =
   let records = Storage.Nvram.take_all nv in
   let dirty =
@@ -203,28 +251,92 @@ let nvram_append_with_flush t nv record =
       failwith "dirsvc: NVRAM record larger than the whole log"
   end
 
+(* Group commit, staging side: no I/O here — [flush_commits] makes the
+   whole delivery burst stable at once. The /tmp effect reaches across
+   the unflushed batch and (disk mode) the unapplied commit-block log: a
+   delete canceling an append that no per-directory block has seen yet
+   removes both records, and the next block-0 write — atomic — retires
+   the append from the durable log, so no window ever shows the append
+   without the delete being acknowledged. *)
+let row_cancels ~cap ~name r =
+  match r.op with
+  | Directory.Append_row { cap = c; name = n; _ } ->
+      c.Capability.obj = cap.Capability.obj && n = name
+  | _ -> false
+
+let stage_update t record =
+  let annihilated =
+    match record.op with
+    | Directory.Delete_row { cap; name } ->
+        let matches = row_cancels ~cap ~name in
+        if List.exists matches t.pending || List.exists matches t.glog then begin
+          t.pending <- List.filter (fun r -> not (matches r)) t.pending;
+          t.glog <- List.filter (fun r -> not (matches r)) t.glog;
+          let touches r = r.dir_id = record.dir_id in
+          if
+            not (List.exists touches t.pending || List.exists touches t.glog)
+          then Hashtbl.remove t.dirty record.dir_id;
+          true
+        end
+        else false
+    | _ -> false
+  in
+  if not annihilated then begin
+    t.pending <- record :: t.pending;
+    Hashtbl.replace t.dirty record.dir_id ()
+  end
+
 let commit_update t ~dir_id ~op =
   t.last_update <- Sim.Proc.now ();
   match t.nvram with
-  | None -> persist_dir_to_disk t dir_id
+  | None ->
+      if batched t then stage_update t { useq = t.useq; dir_id; op }
+      else persist_dir_to_disk t dir_id
   | Some nv -> (
       let record = { useq = t.useq; dir_id; op } in
-      match (op : Directory.op) with
-      | Directory.Delete_row { cap; name } ->
-          (* The /tmp effect: if the append this delete cancels is still
-             in the log, both records vanish — no disk I/O at all. *)
-          let cancelled =
-            Storage.Nvram.remove_if nv (fun r ->
-                match r.op with
-                | Directory.Append_row { cap = c; name = n; _ } ->
-                    c.Capability.obj = cap.Capability.obj && n = name
-                | _ -> false)
-          in
-          if cancelled = [] then nvram_append_with_flush t nv record
-      | Directory.Create_dir _ | Directory.Delete_dir _
-      | Directory.Append_row _ | Directory.Chmod_row _
-      | Directory.Replace_set _ ->
-          nvram_append_with_flush t nv record)
+      if batched t then
+        match (op : Directory.op) with
+        | Directory.Delete_row { cap; name } ->
+            let matches = row_cancels ~cap ~name in
+            if List.exists matches t.pending then
+              t.pending <- List.filter (fun r -> not (matches r)) t.pending
+            else begin
+              let cancelled = Storage.Nvram.remove_if nv matches in
+              if cancelled = [] then t.pending <- record :: t.pending
+            end
+        | _ -> t.pending <- record :: t.pending
+      else
+        match (op : Directory.op) with
+        | Directory.Delete_row { cap; name } ->
+            (* The /tmp effect: if the append this delete cancels is still
+               in the log, both records vanish — no disk I/O at all. *)
+            let cancelled = Storage.Nvram.remove_if nv (row_cancels ~cap ~name) in
+            if cancelled = [] then nvram_append_with_flush t nv record
+        | Directory.Create_dir _ | Directory.Delete_dir _
+        | Directory.Append_row _ | Directory.Chmod_row _
+        | Directory.Replace_set _ ->
+            nvram_append_with_flush t nv record)
+
+(* Group commit, stable side: one durable write covers every record the
+   drain staged — a single block-0 write (the records ride in the commit
+   block's log) or a single NVRAM append burst. *)
+let flush_commits t =
+  match t.pending with
+  | [] -> ()
+  | pending -> (
+      t.pending <- [];
+      count_commit t;
+      match t.nvram with
+      | None ->
+          t.glog <- pending @ t.glog;
+          write_commit_block t ~recovering:false
+      | Some nv ->
+          let records = List.rev pending in
+          if not (Storage.Nvram.append_all nv records) then begin
+            nvram_flush t nv;
+            if not (Storage.Nvram.append_all nv records) then
+              failwith "dirsvc: batch larger than the whole NVRAM log"
+          end)
 
 (* ---- Applying ordered updates -------------------------------------- *)
 
@@ -255,7 +367,10 @@ let execute_op t ~origin ~uid op =
 
 let bump_processed t seqno =
   if seqno > t.gprocessed then t.gprocessed <- seqno;
-  Sim.Condvar.broadcast t.applied
+  (* Group commit defers the wake-up to after [flush_commits]: a writer
+     must not see its result — and reply to the client — before the
+     burst containing it is stable. *)
+  if not (batched t) then Sim.Condvar.broadcast t.applied
 
 let process_delivery t = function
   | Group.Types.Msg { seqno; origin = _; payload } ->
@@ -454,28 +569,48 @@ let load_disk_state t =
     match commit with Some cb -> cb.Storage.Commit_block.seqno | None -> 0
   in
   t.useq <- max commit_seqno max_dir_seqno;
+  (* Replay one log record against the loaded image. Idempotent: a
+     record is skipped when the directory's own seqno already covers it
+     (deleted dirs leave no trace but the useq). Returns whether the
+     record actually had to be applied. *)
+  let replay_record (record : log_record) =
+    let already_applied =
+      match Directory.Store.find_opt record.dir_id t.store with
+      | Some dir -> dir.Directory.seqno >= record.useq
+      | None -> (
+          match record.op with
+          | Directory.Delete_dir _ -> t.useq >= record.useq
+          | _ -> false)
+    in
+    if already_applied then false
+    else
+      match Directory.apply t.store ~seqno:record.useq record.op with
+      | Ok (store', _) ->
+          t.store <- store';
+          t.useq <- max t.useq record.useq;
+          true
+      | Error _ -> false
+  in
   (* Replay the NVRAM log (reliable medium: it survived the crash). *)
   (match t.nvram with
   | None -> ()
   | Some nv ->
+      List.iter (fun r -> ignore (replay_record r)) (Storage.Nvram.peek_all nv));
+  (* Replay the commit block's group-commit log: records made stable by
+     a block-0 write whose per-directory blocks were never rewritten.
+     Replayed records go back into [glog]/[dirty] so they stay covered
+     by future block-0 writes until their directories are persisted. *)
+  (match commit with
+  | Some cb when cb.Storage.Commit_block.log <> "" ->
       List.iter
-        (fun record ->
-          let already_applied =
-            match Directory.Store.find_opt record.dir_id t.store with
-            | Some dir -> dir.Directory.seqno >= record.useq
-            | None -> (
-                (* Deleted dirs leave no trace but the useq. *)
-                match record.op with
-                | Directory.Delete_dir _ -> t.useq >= record.useq
-                | _ -> false)
-          in
-          if not already_applied then
-            match Directory.apply t.store ~seqno:record.useq record.op with
-            | Ok (store', _) ->
-                t.store <- store';
-                t.useq <- max t.useq record.useq
-            | Error _ -> ())
-        (Storage.Nvram.peek_all nv));
+        (fun (useq, dir_id, op) ->
+          let record = { useq; dir_id; op } in
+          if replay_record record then begin
+            t.glog <- record :: t.glog;
+            Hashtbl.replace t.dirty dir_id ()
+          end)
+        (Wire.decode_log_records cb.Storage.Commit_block.log)
+  | Some _ | None -> ());
   if crashed_during_recovery then begin
     (* Crash during recovery: our state may mix old and new directory
        versions. Zero the sequence number so nobody recovers from us
@@ -497,6 +632,8 @@ let group_config t =
     Group.Types.default_config with
     resilience;
     dissemination = t.params.Params.dissemination;
+    batch_max = t.params.Params.batch_max;
+    batch_window = t.params.Params.batch_window_ms;
   }
 
 let leave_group t =
@@ -676,12 +813,7 @@ let rec run_recovery t ~attempt =
               let donor_node = List.assoc donor t.peers in
               (* Mark recovery in progress: a crash between here and the
                  final commit-block write leaves mixed state behind. *)
-              Storage.Commit_block.write t.device
-                {
-                  Storage.Commit_block.config_vector = current_vector t;
-                  seqno = t.useq;
-                  recovering = true;
-                };
+              write_commit_block t ~recovering:true;
               match fetch_state_from t ~donor_node ~join_base with
               | Some (store, useq, watermark) ->
                   t.store <- store;
@@ -732,24 +864,60 @@ let rec run_recovery t ~attempt =
 
 (* ---- The group thread (Fig. 5 bottom + recovery trigger) ------------ *)
 
+(* Group-commit step: drain every delivery the group layer has already
+   ordered (a batched multicast lands as a burst), apply them in memory,
+   then make the burst stable with one commit and wake the waiting
+   writers. Quiet periods — no delivery within batch_persist_idle_ms —
+   are used to apply the commit-block log to the dirty directories' own
+   blocks in the background. *)
+let group_step_batched t g =
+  let idle_work = Hashtbl.length t.dirty > 0 || t.glog <> [] in
+  match
+    let first =
+      if idle_work then
+        Group.Member.receive ~timeout:t.params.Params.batch_persist_idle_ms g
+      else Group.Member.receive g
+    in
+    process_delivery t first;
+    while Group.Member.pending_deliveries g > 0 do
+      process_delivery t (Group.Member.receive g)
+    done
+  with
+  | () ->
+      flush_commits t;
+      Sim.Condvar.broadcast t.applied
+  | exception Sim.Proc.Timeout -> persist_dirty t
+  | exception Group.Types.Group_failure _ -> (
+      (* Updates ordered before the failure are legitimate: make what we
+         already applied stable before rebuilding the group. *)
+      flush_commits t;
+      Sim.Condvar.broadcast t.applied;
+      match Group.Member.reset g with
+      | size when size >= majority t -> write_commit_block t ~recovering:false
+      | _ -> t.serving <- false
+      | exception Group.Types.Group_failure _ -> t.serving <- false)
+
 let group_thread t () =
   while true do
     if not t.serving then run_recovery t ~attempt:0
     else begin
       match t.group with
       | None -> t.serving <- false
-      | Some g -> (
-          match Group.Member.receive g with
-          | delivery -> process_delivery t delivery
-          | exception Group.Types.Group_failure _ -> (
-              (* Rebuild the group; with a majority we continue, else we
-                 fall back to full recovery (Fig. 5's group thread). *)
-              match Group.Member.reset g with
-              | size when size >= majority t ->
-                  write_commit_block t ~recovering:false
-              | _ ->
-                  t.serving <- false
-              | exception Group.Types.Group_failure _ -> t.serving <- false))
+      | Some g ->
+          if batched t then group_step_batched t g
+          else begin
+            match Group.Member.receive g with
+            | delivery -> process_delivery t delivery
+            | exception Group.Types.Group_failure _ -> (
+                (* Rebuild the group; with a majority we continue, else we
+                   fall back to full recovery (Fig. 5's group thread). *)
+                match Group.Member.reset g with
+                | size when size >= majority t ->
+                    write_commit_block t ~recovering:false
+                | _ ->
+                    t.serving <- false
+                | exception Group.Types.Group_failure _ -> t.serving <- false)
+          end
     end
   done
 
@@ -805,6 +973,17 @@ let start ~params ?metrics ?nvram net ~server_id ~peers ~node ~device
       last_update = 0.0;
       op_log = [];
       forced_recovery = false;
+      pending = [];
+      glog = [];
+      dirty = Hashtbl.create 16;
+      (* Only resolved in group-commit mode: unbatched runs must leave
+         the metrics registry untouched so their output stays
+         byte-identical to the unbatched protocol's. *)
+      c_commit =
+        (match metrics with
+        | Some m when params.Params.batch_max > 1 ->
+            Some (Sim.Metrics.counter m "dirsvc.commit")
+        | Some _ | None -> None);
     }
   in
   Rpc.Transport.serve transport ~port ~threads:params.Params.server_threads

@@ -15,6 +15,9 @@ type t = {
   server_threads : int;
   resilience_override : int option;
   dissemination : Group.Types.dissemination;
+  batch_max : int;
+  batch_window_ms : float;
+  batch_persist_idle_ms : float;
   disk_blocks : int;
   disk_block_size : int;
   admin_slots : int;
@@ -38,6 +41,9 @@ let default =
     server_threads = 5;
     resilience_override = None;
     dissemination = Group.Types.Pb;
+    batch_max = 1;
+    batch_window_ms = 2.0;
+    batch_persist_idle_ms = 150.0;
     disk_blocks = 4096;
     disk_block_size = 1024;
     admin_slots = 256;

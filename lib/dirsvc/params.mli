@@ -34,6 +34,16 @@ type t = {
   dissemination : Group.Types.dissemination;
       (** group dissemination method (PB forwards bodies through the
           sequencer; BB broadcasts them from the sender) *)
+  batch_max : int;
+      (** sequencer-side batching degree passed to the group layer, and
+          the group-commit switch for the servers: 1 (the default) is
+          the exact unbatched protocol, byte-identical per seed *)
+  batch_window_ms : float;
+      (** how long the sequencer holds a partial batch (ms) *)
+  batch_persist_idle_ms : float;
+      (** group-commit mode: how long a server waits for more ordered
+          updates before applying the commit-block log to the
+          per-directory disk blocks in the background *)
   disk_blocks : int;  (** geometry of each server machine's disk *)
   disk_block_size : int;
   admin_slots : int;  (** object-table slots (max directories) *)

@@ -73,6 +73,109 @@ let decode_store data =
     (fun store (dir_id, dir) -> Directory.Store.add dir_id dir store)
     Directory.empty entries
 
+(* Byte codec for operations: the group-commit log in the commit block
+   stores encoded ops so a crashed server can replay modifications whose
+   per-directory blocks were never written. Tags are stable on-disk
+   format; decode raises {!Storage.Codec.Corrupt} on garbage. *)
+
+let encode_op w (op : Directory.op) =
+  let module W = Storage.Codec.Writer in
+  match op with
+  | Directory.Create_dir { columns; secret; hint } ->
+      W.u8 w 0;
+      W.list w W.string columns;
+      W.i64 w secret;
+      W.bool w (hint <> None);
+      W.u32 w (match hint with Some id -> id | None -> 0)
+  | Directory.Delete_dir { cap } ->
+      W.u8 w 1;
+      Storage.Cap_codec.write w cap
+  | Directory.Append_row { cap; name; caps; masks } ->
+      W.u8 w 2;
+      Storage.Cap_codec.write w cap;
+      W.string w name;
+      W.list w Storage.Cap_codec.write caps;
+      W.list w W.u32 masks
+  | Directory.Chmod_row { cap; name; masks } ->
+      W.u8 w 3;
+      Storage.Cap_codec.write w cap;
+      W.string w name;
+      W.list w W.u32 masks
+  | Directory.Delete_row { cap; name } ->
+      W.u8 w 4;
+      Storage.Cap_codec.write w cap;
+      W.string w name
+  | Directory.Replace_set { cap; rows } ->
+      W.u8 w 5;
+      Storage.Cap_codec.write w cap;
+      W.list w
+        (fun w (name, caps) ->
+          W.string w name;
+          W.list w Storage.Cap_codec.write caps)
+        rows
+
+let decode_op r : Directory.op =
+  let module R = Storage.Codec.Reader in
+  match R.u8 r with
+  | 0 ->
+      let columns = R.list r R.string in
+      let secret = R.i64 r in
+      let has_hint = R.bool r in
+      let id = R.u32 r in
+      Directory.Create_dir
+        { columns; secret; hint = (if has_hint then Some id else None) }
+  | 1 -> Directory.Delete_dir { cap = Storage.Cap_codec.read r }
+  | 2 ->
+      let cap = Storage.Cap_codec.read r in
+      let name = R.string r in
+      let caps = R.list r Storage.Cap_codec.read in
+      let masks = R.list r R.u32 in
+      Directory.Append_row { cap; name; caps; masks }
+  | 3 ->
+      let cap = Storage.Cap_codec.read r in
+      let name = R.string r in
+      let masks = R.list r R.u32 in
+      Directory.Chmod_row { cap; name; masks }
+  | 4 ->
+      let cap = Storage.Cap_codec.read r in
+      let name = R.string r in
+      Directory.Delete_row { cap; name }
+  | 5 ->
+      let cap = Storage.Cap_codec.read r in
+      let rows =
+        R.list r (fun r ->
+            let name = R.string r in
+            let caps = R.list r Storage.Cap_codec.read in
+            (name, caps))
+      in
+      Directory.Replace_set { cap; rows }
+  | n -> raise (Storage.Codec.Corrupt (Printf.sprintf "op: bad tag %d" n))
+
+(* The commit-block log itself: (useq, dir id, op) records, oldest
+   first. *)
+let encode_log_records records =
+  match records with
+  | [] -> ""
+  | records ->
+      let w = Storage.Codec.Writer.create () in
+      Storage.Codec.Writer.list w
+        (fun w (useq, dir_id, op) ->
+          Storage.Codec.Writer.u32 w useq;
+          Storage.Codec.Writer.u32 w dir_id;
+          encode_op w op)
+        records;
+      Bytes.to_string (Storage.Codec.Writer.contents w)
+
+let decode_log_records data =
+  if data = "" then []
+  else
+    let r = Storage.Codec.Reader.of_bytes (Bytes.of_string data) in
+    Storage.Codec.Reader.list r (fun r ->
+        let useq = Storage.Codec.Reader.u32 r in
+        let dir_id = Storage.Codec.Reader.u32 r in
+        let op = decode_op r in
+        (useq, dir_id, op))
+
 let op_size (op : Directory.op) =
   let cap_size = 32 in
   match op with

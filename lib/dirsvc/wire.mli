@@ -72,5 +72,19 @@ val encode_store : Directory.store -> string
 
 val decode_store : string -> Directory.store
 
+(** Byte codec for single operations (the commit block's group-commit
+    log). Decoding raises {!Storage.Codec.Corrupt} on garbage. *)
+
+val encode_op : Storage.Codec.Writer.t -> Directory.op -> unit
+
+val decode_op : Storage.Codec.Reader.t -> Directory.op
+
+(** Codec for the commit-block log: [(useq, dir_id, op)] records,
+    oldest first. [encode_log_records []] is [""]. *)
+
+val encode_log_records : (int * int * Directory.op) list -> string
+
+val decode_log_records : string -> (int * int * Directory.op) list
+
 (** Rough wire/NVRAM footprint of an operation in bytes. *)
 val op_size : Directory.op -> int

@@ -52,6 +52,20 @@ type t = {
   pending_sends : (int, unit Sim.Ivar.t) Hashtbl.t; (* uid -> done *)
   (* Sequencer state (only meaningful while me = sequencer). *)
   mutable seq_next : int;
+  (* Sequencer-side batching (batch_max > 1). Pending entries already
+     hold their seqnos [batch_base .. batch_base + batch_n - 1] in
+     [store] — only the ordering multicast is deferred. The scratch
+     vector is reused across flushes (grown geometrically, never
+     shrunk); [batch_timer] is the cancelable flush timer, armed when
+     the first entry of a batch arrives and revoked when the batch
+     fills to [batch_max] first. *)
+  mutable batch_base : int;
+  mutable batch_n : int;
+  mutable batch_scratch : Wire.entry array;
+  mutable batch_bodies : bool;
+      (* every pending entry's body already traveled by the sender's
+         own broadcast (BB), so one tiny Accept can order them all *)
+  mutable batch_timer : Sim.Timer.t option;
   acked : (int, int) Hashtbl.t; (* member -> cumulative have_upto *)
   last_heard : (int, float) Hashtbl.t; (* member -> last ack/hb time *)
   pending_done : (int, int * int) Hashtbl.t; (* seqno -> origin, uid *)
@@ -150,8 +164,30 @@ let halt_fd t =
       t.fd_tick <- None
   | None -> ()
 
+let batching t = t.config.batch_max > 1
+
+let cancel_batch_timer t =
+  match t.batch_timer with
+  | Some tm ->
+      Sim.Timer.cancel tm;
+      t.batch_timer <- None
+  | None -> ()
+
+(* Drop the pending batch without ordering it (view change, detected
+   failure, node crash). The entries keep their [store] slots but were
+   never multicast; the reset that follows purges everything past the
+   agreed base, and the blocked senders retry into the new view. *)
+let clear_batch t =
+  cancel_batch_timer t;
+  t.batch_n <- 0;
+  t.batch_bodies <- true
+
 let emit t ~name attrs =
   Sim.Engine.emit t.engine ~subsystem:"grp" ~node:t.me ~name attrs
+
+(* Guard for per-packet emits: the attrs thunk is a closure allocated at
+   the call site even when tracing is off, so the hot path checks first. *)
+let tracing t = Sim.Engine.tracing t.engine
 
 let gname t = t.gname
 
@@ -196,6 +232,7 @@ let declare_broken t ~notify_peers reason =
     emit t ~name:"broken" (fun () ->
         [ ("gname", Sim.Trace.Str t.gname); ("reason", Sim.Trace.Str reason) ]);
     t.status <- Broken;
+    clear_batch t;
     fail_pending_sends t reason;
     Sim.Mailbox.send t.deliver_q (Failed reason);
     Sim.Condvar.broadcast t.changed;
@@ -252,19 +289,20 @@ let record_ack t ~member ~have_upto =
 (* ---- Delivery --------------------------------------------------- *)
 
 let deliver_entry t seqno (entry : Wire.entry) =
-  emit t ~name:"deliver" (fun () ->
-      let kind, origin =
-        match entry with
-        | Wire.App { origin; _ } -> ("app", origin)
-        | Wire.Join_member m -> ("join", m)
-        | Wire.Leave_member m -> ("leave", m)
-      in
-      [
-        ("gname", Sim.Trace.Str t.gname);
-        ("seqno", Sim.Trace.Int seqno);
-        ("kind", Sim.Trace.Str kind);
-        ("origin", Sim.Trace.Int origin);
-      ]);
+  if tracing t then
+    emit t ~name:"deliver" (fun () ->
+        let kind, origin =
+          match entry with
+          | Wire.App { origin; _ } -> ("app", origin)
+          | Wire.Join_member m -> ("join", m)
+          | Wire.Leave_member m -> ("leave", m)
+        in
+        [
+          ("gname", Sim.Trace.Str t.gname);
+          ("seqno", Sim.Trace.Int seqno);
+          ("kind", Sim.Trace.Str kind);
+          ("origin", Sim.Trace.Int origin);
+        ]);
   match entry with
   | Wire.App { origin; payload; _ } ->
       Sim.Mailbox.send t.deliver_q (Delivery (Msg { seqno; origin; payload }))
@@ -359,8 +397,9 @@ let assign_and_multicast t entry =
   let seqno = t.seq_next in
   t.seq_next <- seqno + 1;
   t.last_data_sent <- now t;
-  emit t ~name:"assign" (fun () ->
-      [ ("gname", Sim.Trace.Str t.gname); ("seqno", Sim.Trace.Int seqno) ]);
+  if tracing t then
+    emit t ~name:"assign" (fun () ->
+        [ ("gname", Sim.Trace.Str t.gname); ("seqno", Sim.Trace.Int seqno) ]);
   (* The sequencer is the authoritative history: record the entry before
      anything else so retransmission can always serve it, then deliver it
      locally right away (the loopback copy becomes a harmless duplicate). *)
@@ -371,6 +410,79 @@ let assign_and_multicast t entry =
   advance t;
   seqno
 
+(* ---- Sequencer batching ------------------------------------------ *)
+
+let flush_batch t =
+  if t.batch_n > 0 then begin
+    cancel_batch_timer t;
+    let base = t.batch_base and count = t.batch_n in
+    t.batch_n <- 0;
+    t.last_data_sent <- now t;
+    if tracing t then
+      emit t ~name:"assign.batch" (fun () ->
+          [
+            ("gname", Sim.Trace.Str t.gname);
+            ("base", Sim.Trace.Int base);
+            ("count", Sim.Trace.Int count);
+          ]);
+    if t.batch_bodies then begin
+      (* BB: every body already traveled by its sender's own broadcast,
+         so one flat Accept orders the whole batch. *)
+      let pairs = Array.make (2 * count) 0 in
+      for i = 0 to count - 1 do
+        match t.batch_scratch.(i) with
+        | Wire.App { origin; uid; _ } ->
+            pairs.(2 * i) <- origin;
+            pairs.((2 * i) + 1) <- uid
+        | Wire.Join_member _ | Wire.Leave_member _ -> assert false
+      done;
+      multicast t k_accept
+        (Wire.Bb_accept_batch { gname = t.gname; epoch = t.epoch; base; pairs })
+    end
+    else
+      multicast t k_data
+        (Wire.Data_batch
+           {
+             gname = t.gname;
+             epoch = t.epoch;
+             batch = Wire.encode_batch ~base ~count t.batch_scratch;
+           });
+    t.batch_bodies <- true;
+    advance t;
+    check_pending_done t
+  end
+
+(* Order [entry] into the pending batch: the seqno is assigned — and the
+   sequencer's authoritative [store] updated — immediately, so duplicate
+   detection and retransmission behave exactly as if the entry had been
+   multicast; only the ordering multicast itself is deferred until the
+   batch fills to [batch_max] or the flush timer fires. [body_known]
+   marks BB entries whose payload already traveled by the sender's own
+   broadcast. *)
+let enqueue_batch t entry ~body_known =
+  let seqno = t.seq_next in
+  t.seq_next <- seqno + 1;
+  if t.batch_n = 0 then begin
+    t.batch_base <- seqno;
+    t.batch_timer <-
+      Some
+        (Sim.Timer.after t.engine ~delay:t.config.batch_window (fun () ->
+             t.batch_timer <- None;
+             if is_sequencer t then flush_batch t))
+  end;
+  if t.batch_n >= Array.length t.batch_scratch then begin
+    let bigger = Array.make (2 * Array.length t.batch_scratch) entry in
+    Array.blit t.batch_scratch 0 bigger 0 t.batch_n;
+    t.batch_scratch <- bigger
+  end;
+  t.batch_scratch.(t.batch_n) <- entry;
+  t.batch_n <- t.batch_n + 1;
+  if not body_known then t.batch_bodies <- false;
+  Hashtbl.replace t.store seqno entry;
+  if seqno > t.highest_seen then t.highest_seen <- seqno;
+  if t.batch_n >= t.config.batch_max then flush_batch t;
+  seqno
+
 let handle_bcast_req t ~origin ~uid ~payload =
   match Hashtbl.find_opt t.assigned_uids (origin, uid) with
   | Some seqno ->
@@ -378,7 +490,10 @@ let handle_bcast_req t ~origin ~uid ~payload =
       if not (Hashtbl.mem t.pending_done seqno) then send_done t ~origin ~uid
   | None ->
       let entry = Wire.App { origin; uid; payload } in
-      let seqno = assign_and_multicast t entry in
+      let seqno =
+        if batching t then enqueue_batch t entry ~body_known:false
+        else assign_and_multicast t entry
+      in
       Hashtbl.replace t.assigned_uids (origin, uid) seqno;
       Hashtbl.replace t.pending_done seqno (origin, uid);
       (* With r = 0 the send completes as soon as it is ordered. *)
@@ -391,18 +506,29 @@ let handle_bb_body_at_sequencer t ~origin ~uid ~payload =
   | Some seqno ->
       if not (Hashtbl.mem t.pending_done seqno) then send_done t ~origin ~uid
   | None ->
-      let seqno = t.seq_next in
-      t.seq_next <- seqno + 1;
-      t.last_data_sent <- now t;
-      let entry = Wire.App { origin; uid; payload } in
-      Hashtbl.replace t.store seqno entry;
-      if seqno > t.highest_seen then t.highest_seen <- seqno;
-      Hashtbl.replace t.assigned_uids (origin, uid) seqno;
-      Hashtbl.replace t.pending_done seqno (origin, uid);
-      multicast t k_accept
-        (Wire.Bb_accept { gname = t.gname; epoch = t.epoch; seqno; origin; uid });
-      advance t;
-      check_pending_done t
+      if batching t then begin
+        let seqno =
+          enqueue_batch t (Wire.App { origin; uid; payload }) ~body_known:true
+        in
+        Hashtbl.replace t.assigned_uids (origin, uid) seqno;
+        Hashtbl.replace t.pending_done seqno (origin, uid);
+        check_pending_done t
+      end
+      else begin
+        let seqno = t.seq_next in
+        t.seq_next <- seqno + 1;
+        t.last_data_sent <- now t;
+        let entry = Wire.App { origin; uid; payload } in
+        Hashtbl.replace t.store seqno entry;
+        if seqno > t.highest_seen then t.highest_seen <- seqno;
+        Hashtbl.replace t.assigned_uids (origin, uid) seqno;
+        Hashtbl.replace t.pending_done seqno (origin, uid);
+        multicast t k_accept
+          (Wire.Bb_accept
+             { gname = t.gname; epoch = t.epoch; seqno; origin; uid });
+        advance t;
+        check_pending_done t
+      end
 
 (* BB method, member side: pair an Accept with its broadcast body. A
    missing body is recovered through the ordinary retransmission path
@@ -416,6 +542,39 @@ let handle_bb_accept t ~seqno ~origin ~uid =
       if seqno > t.highest_seen then t.highest_seen <- seqno;
       if t.highest_seen > t.contig then request_retrans t);
   ()
+
+(* Member side: unpack a batch frame back into individual ordered
+   entries — one store pass, then a single [advance], so one cumulative
+   Ack covers the whole range. *)
+let store_batch t (b : Wire.batch) =
+  let last = b.Wire.base + b.Wire.count - 1 in
+  if last > t.highest_seen then t.highest_seen <- last;
+  for i = 0 to b.Wire.count - 1 do
+    let seqno = b.Wire.base + i in
+    if seqno > t.contig && not (Hashtbl.mem t.store seqno) then
+      Hashtbl.replace t.store seqno (Wire.decode_entry b i)
+  done;
+  advance t;
+  if t.highest_seen > t.contig then request_retrans t
+
+(* Member side: a batched Accept pairs each (origin, uid) in the flat
+   pair array with its broadcast body, exactly like [handle_bb_accept]
+   entry by entry, but with one [advance] for the whole range. *)
+let handle_bb_accept_batch t ~base ~pairs =
+  let n = Array.length pairs / 2 in
+  if base + n - 1 > t.highest_seen then t.highest_seen <- base + n - 1;
+  for i = 0 to n - 1 do
+    let origin = pairs.(2 * i) and uid = pairs.((2 * i) + 1) in
+    match Hashtbl.find_opt t.bb_bodies (origin, uid) with
+    | Some payload ->
+        Hashtbl.remove t.bb_bodies (origin, uid);
+        let seqno = base + i in
+        if seqno > t.contig && not (Hashtbl.mem t.store seqno) then
+          Hashtbl.replace t.store seqno (Wire.App { origin; uid; payload })
+    | None -> ()
+  done;
+  advance t;
+  if t.highest_seen > t.contig then request_retrans t
 
 let handle_join_req t ~joiner ~uid =
   match Hashtbl.find_opt t.join_assigned (joiner, uid) with
@@ -431,8 +590,11 @@ let handle_join_req t ~joiner ~uid =
              base = seqno;
            })
   | None ->
-      (* Ordering the Join also delivers it locally, so [t.members]
-         already includes the joiner when we build the grant. *)
+      (* Membership entries are never batched: flush any pending batch
+         first so the Join lands after it in the total order. Ordering
+         the Join also delivers it locally, so [t.members] already
+         includes the joiner when we build the grant. *)
+      flush_batch t;
       let seqno = assign_and_multicast t (Wire.Join_member joiner) in
       Hashtbl.replace t.join_assigned (joiner, uid) seqno;
       unicast t ~dst:joiner k_grant
@@ -456,13 +618,43 @@ let handle_retrans t ~member ~from =
         ("from", Sim.Trace.Int from);
         ("upto", Sim.Trace.Int upto);
       ]);
-  for seqno = from to upto do
-    match Hashtbl.find_opt t.store seqno with
-    | Some entry ->
+  if batching t then begin
+    (* A seqno ordered inside a batch is resent inside a batch: each
+       contiguous stored run in [from..upto] travels as one covering
+       frame; gaps split the range. *)
+    let run = ref [] and run_len = ref 0 and run_base = ref from in
+    let flush_run () =
+      if !run_len > 0 then begin
+        let arr = Array.of_list (List.rev !run) in
         unicast t ~dst:member k_data
-          (Wire.Data { gname = t.gname; epoch = t.epoch; seqno; entry })
-    | None -> ()
-  done
+          (Wire.Data_batch
+             {
+               gname = t.gname;
+               epoch = t.epoch;
+               batch = Wire.encode_batch ~base:!run_base ~count:!run_len arr;
+             });
+        run := [];
+        run_len := 0
+      end
+    in
+    for seqno = from to upto do
+      match Hashtbl.find_opt t.store seqno with
+      | Some entry ->
+          if !run_len = 0 then run_base := seqno;
+          run := entry :: !run;
+          incr run_len
+      | None -> flush_run ()
+    done;
+    flush_run ()
+  end
+  else
+    for seqno = from to upto do
+      match Hashtbl.find_opt t.store seqno with
+      | Some entry ->
+          unicast t ~dst:member k_data
+            (Wire.Data { gname = t.gname; epoch = t.epoch; seqno; entry })
+      | None -> ()
+    done
 
 (* ---- Reset (ResetGroup view change) ------------------------------ *)
 
@@ -524,6 +716,9 @@ let apply_reset_commit t ~epoch ~members:new_members ~sequencer ~base ~patch =
     && epoch.view > t.epoch.view
     && (t.status = Resetting || t.status = Broken || t.status = Normal)
   then begin
+    (* A batch pending under the dead view was never multicast: drop it
+       (its seqnos sit beyond the agreed base and are purged below). *)
+    clear_batch t;
     List.iter
       (fun (seqno, entry) ->
         if seqno > t.contig && not (Hashtbl.mem t.store seqno) then
@@ -666,6 +861,23 @@ let handle_packet t (packet : Simnet.Packet.t) =
           (* Traffic racing our join: keep it until we know which group
              (and base) we were admitted to. *)
           t.join_stash <- (epoch, seqno, entry) :: t.join_stash
+  | Wire.Data_batch { gname; epoch; batch } ->
+      if gname = t.gname then
+        if epoch_matches t epoch && t.status = Normal then begin
+          t.last_from_seq <- now t;
+          store_batch t batch
+        end
+        else if t.status = Idle && t.join_collect <> None then
+          for i = 0 to batch.Wire.count - 1 do
+            t.join_stash <-
+              (epoch, batch.Wire.base + i, Wire.decode_entry batch i)
+              :: t.join_stash
+          done
+  | Wire.Bb_accept_batch { gname; epoch; base; pairs } ->
+      if gname = t.gname && epoch_matches t epoch && t.status = Normal then begin
+        t.last_from_seq <- now t;
+        handle_bb_accept_batch t ~base ~pairs
+      end
   | Wire.Bcast_req { gname; epoch; origin; uid; payload } ->
       if gname = t.gname && epoch_matches t epoch && is_sequencer t then
         handle_bcast_req t ~origin ~uid ~payload
@@ -727,8 +939,10 @@ let handle_packet t (packet : Simnet.Packet.t) =
         | Some _ | None -> ()
       end
   | Wire.Leave_req { gname; epoch; member } ->
-      if gname = t.gname && epoch_matches t epoch && is_sequencer t then
+      if gname = t.gname && epoch_matches t epoch && is_sequencer t then begin
+        flush_batch t;
         ignore (assign_and_multicast t (Wire.Leave_member member))
+      end
   | Wire.Reset_invite { gname; instance; view; coord } ->
       if gname = t.gname then handle_reset_invite t ~instance ~view ~coord
   | Wire.Reset_state { gname; instance; view; member; have_upto } ->
@@ -814,6 +1028,14 @@ let make ?metrics ?(config = Types.default_config) net nic ~gname =
       changed = Sim.Condvar.create ();
       pending_sends = Hashtbl.create 8;
       seq_next = 1;
+      batch_base = 0;
+      batch_n = 0;
+      batch_scratch =
+        Array.make
+          (max 1 (min config.Types.batch_max 16))
+          (Wire.Join_member 0);
+      batch_bodies = true;
+      batch_timer = None;
       acked = Hashtbl.create 8;
       last_heard = Hashtbl.create 8;
       pending_done = Hashtbl.create 8;
@@ -841,8 +1063,12 @@ let make ?metrics ?(config = Types.default_config) net nic ~gname =
       done);
   Sim.Proc.boot engine node ~name:(gname ^ ".grp-fd") (failure_detector t);
   (* A crashed node's pending tick would fire as a dead event (the
-     waker's incarnation is gone); revoke it instead. *)
-  Sim.Node.on_crash node (fun () -> halt_fd t);
+     waker's incarnation is gone); revoke it instead. The batch timer is
+     revoked for the same reason — and so a crashed sequencer's pending
+     batch dies with it instead of being multicast posthumously. *)
+  Sim.Node.on_crash node (fun () ->
+      halt_fd t;
+      clear_batch t);
   t
 
 let create_group ?metrics ?config net nic ~gname =
@@ -922,12 +1148,13 @@ let send t ?size payload =
   let meth =
     match t.config.dissemination with Types.Pb -> "pb" | Types.Bb -> "bb"
   in
-  emit t ~name:"send" (fun () ->
-      [
-        ("gname", Sim.Trace.Str t.gname);
-        ("uid", Sim.Trace.Int uid);
-        ("method", Sim.Trace.Str meth);
-      ]);
+  if tracing t then
+    emit t ~name:"send" (fun () ->
+        [
+          ("gname", Sim.Trace.Str t.gname);
+          ("uid", Sim.Trace.Int uid);
+          ("method", Sim.Trace.Str meth);
+        ]);
   let rec attempt n =
     if t.status <> Normal || Types.epoch_compare t.epoch epoch0 <> 0 then
       raise (Group_failure "group changed during send");
@@ -957,13 +1184,14 @@ let send t ?size payload =
         (match t.counters with
         | Some c -> Sim.Metrics.Histogram.observe c.c_send_ms wait
         | None -> ());
-        emit t ~name:"send.done" (fun () ->
-            [
-              ("gname", Sim.Trace.Str t.gname);
-              ("uid", Sim.Trace.Int uid);
-              ("wait_ms", Sim.Trace.Float wait);
-              ("attempts", Sim.Trace.Int n);
-            ])
+        if tracing t then
+          emit t ~name:"send.done" (fun () ->
+              [
+                ("gname", Sim.Trace.Str t.gname);
+                ("uid", Sim.Trace.Int uid);
+                ("wait_ms", Sim.Trace.Float wait);
+                ("attempts", Sim.Trace.Int n);
+              ])
     | exception Sim.Proc.Timeout ->
         Hashtbl.remove t.pending_sends uid;
         count t k_send_retry;
@@ -995,6 +1223,11 @@ let rec receive ?timeout t =
       end
       else receive ?timeout t
 
+let pending_deliveries t = Sim.Mailbox.length t.deliver_q
+
+let batch_timer_active t =
+  match t.batch_timer with Some tm -> Sim.Timer.active tm | None -> false
+
 let leave t =
   match t.status with
   | Left -> ()
@@ -1013,6 +1246,7 @@ let leave t =
            Sim.Condvar.await ~timeout:t.config.send_timeout t.changed (fun () ->
                Hashtbl.length t.pending_done = 0)
          with Sim.Proc.Timeout -> ());
+        flush_batch t;
         ignore (assign_and_multicast t (Wire.Leave_member t.me))
       end
       else

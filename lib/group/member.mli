@@ -54,3 +54,12 @@ val info : t -> Types.info
 
 (** Sorted ids of the current view (= [(info t).members]). *)
 val members : t -> int list
+
+(** Deliveries buffered but not yet consumed by [receive]. *)
+val pending_deliveries : t -> int
+
+(** Whether the sequencer's batch flush timer is currently armed (only
+    ever true with [batch_max > 1]). A batch flushed by reaching
+    [batch_max] cancels its timer, so this returning [false] right after
+    a full batch went out is the observable no-timer-corpse guarantee. *)
+val batch_timer_active : t -> bool

@@ -40,6 +40,8 @@ type config = {
   join_window : float;
   reset_window : float;
   retrans_batch : int;
+  batch_max : int;
+  batch_window : float;
 }
 
 let default_config =
@@ -53,6 +55,8 @@ let default_config =
     join_window = 5.0;
     reset_window = 15.0;
     retrans_batch = 256;
+    batch_max = 1;
+    batch_window = 2.0;
   }
 
 type info = {

@@ -61,6 +61,15 @@ type config = {
   join_window : float;  (** how long [join] collects grants (ms) *)
   reset_window : float;  (** how long [reset] collects member states (ms) *)
   retrans_batch : int;  (** max entries per retransmission request *)
+  batch_max : int;
+      (** sequencer-side batching: order up to this many concurrently
+          arriving updates with a single multicast. 1 (the default)
+          disables batching entirely — the packet stream, RNG draws and
+          traces are then byte-identical to the unbatched protocol *)
+  batch_window : float;
+      (** how long (ms) the sequencer holds a partial batch before
+          flushing it; the flush timer is cancelable, so a batch that
+          fills to [batch_max] first leaves no timer corpse behind *)
 }
 
 val default_config : config

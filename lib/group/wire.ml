@@ -5,6 +5,60 @@ type entry =
 
 type member_state = { member : int; have_upto : int }
 
+(* Flat batch framing. A batch covers the contiguous seqno range
+   [base .. base + count - 1]. Per entry the header array holds three
+   ints — tag, member-or-origin, uid — and the payload array one slot
+   (App payloads; membership entries leave the empty filler). The
+   int-encoded header keeps the frame a pair of flat arrays instead of
+   [count] boxed entry records, and lets the sequencer build it from a
+   reused scratch vector with two [Array.sub]s. *)
+let no_payload = Simnet.Payload.Opaque ""
+
+type batch = {
+  base : int;
+  count : int;
+  hdr : int array; (* 3 ints per entry: tag, member/origin, uid *)
+  payloads : Simnet.Payload.t array;
+}
+
+let tag_app = 0
+let tag_join = 1
+let tag_leave = 2
+
+let encode_batch ~base ~count entries =
+  if count <= 0 || count > Array.length entries then
+    invalid_arg "Wire.encode_batch: bad count";
+  let hdr = Array.make (3 * count) 0 in
+  let payloads = Array.make count no_payload in
+  for i = 0 to count - 1 do
+    let k = 3 * i in
+    match entries.(i) with
+    | App { origin; uid; payload } ->
+        hdr.(k) <- tag_app;
+        hdr.(k + 1) <- origin;
+        hdr.(k + 2) <- uid;
+        payloads.(i) <- payload
+    | Join_member m ->
+        hdr.(k) <- tag_join;
+        hdr.(k + 1) <- m
+    | Leave_member m ->
+        hdr.(k) <- tag_leave;
+        hdr.(k + 1) <- m
+  done;
+  { base; count; hdr; payloads }
+
+let decode_entry b i =
+  if i < 0 || i >= b.count then invalid_arg "Wire.decode_entry: bad index";
+  let k = 3 * i in
+  let tag = b.hdr.(k) in
+  if tag = tag_app then
+    App { origin = b.hdr.(k + 1); uid = b.hdr.(k + 2); payload = b.payloads.(i) }
+  else if tag = tag_join then Join_member b.hdr.(k + 1)
+  else if tag = tag_leave then Leave_member b.hdr.(k + 1)
+  else invalid_arg "Wire.decode_entry: bad tag"
+
+let batch_entries b = List.init b.count (decode_entry b)
+
 type Simnet.Payload.t +=
   | Bcast_req of {
       gname : string;
@@ -32,6 +86,13 @@ type Simnet.Payload.t +=
       epoch : Types.epoch;
       seqno : int;
       entry : entry;
+    }
+  | Data_batch of { gname : string; epoch : Types.epoch; batch : batch }
+  | Bb_accept_batch of {
+      gname : string;
+      epoch : Types.epoch;
+      base : int;
+      pairs : int array; (* 2 ints per accept: origin, uid *)
     }
   | Ack of { gname : string; epoch : Types.epoch; member : int; have_upto : int }
   | Done of { gname : string; epoch : Types.epoch; uid : int }
@@ -80,6 +141,14 @@ let () =
     | Bcast_req { origin; uid; _ } ->
         Some (Printf.sprintf "grp.req %d.%d" origin uid)
     | Data { seqno; _ } -> Some (Printf.sprintf "grp.data #%d" seqno)
+    | Data_batch { batch; _ } ->
+        Some
+          (Printf.sprintf "grp.data #%d..%d" batch.base
+             (batch.base + batch.count - 1))
+    | Bb_accept_batch { base; pairs; _ } ->
+        Some
+          (Printf.sprintf "grp.bb-accept #%d..%d" base
+             (base + (Array.length pairs / 2) - 1))
     | Bb_body { origin; uid; _ } -> Some (Printf.sprintf "grp.bb-body %d.%d" origin uid)
     | Bb_accept { seqno; _ } -> Some (Printf.sprintf "grp.bb-accept #%d" seqno)
     | Ack { member; have_upto; _ } ->

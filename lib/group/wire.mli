@@ -22,6 +22,33 @@ type member_state = {
   have_upto : int;  (** highest contiguous seqno this member holds *)
 }
 
+(** Flat batch framing: the sequencer packs concurrently arriving
+    updates into one multicast covering the contiguous seqno range
+    [base .. base + count - 1]. The header is int-encoded — three ints
+    per entry (tag, member-or-origin, uid) — and App payloads ride in a
+    parallel array, so a frame is two flat arrays rather than [count]
+    boxed entries. Delivery unpacks it back into individual ordered
+    entries with {!decode_entry}, which is what keeps the layers above
+    (and the recovery path) unchanged. *)
+type batch = {
+  base : int;  (** seqno of the first entry *)
+  count : int;
+  hdr : int array;  (** 3 ints per entry: tag, member/origin, uid *)
+  payloads : Simnet.Payload.t array;
+}
+
+(** [encode_batch ~base ~count entries] freezes the first [count] slots
+    of [entries] (typically the sequencer's reused scratch vector) into
+    a flat frame. Raises [Invalid_argument] on an empty or oversized
+    count. *)
+val encode_batch : base:int -> count:int -> entry array -> batch
+
+(** [decode_entry b i] reconstructs entry [i] (seqno [b.base + i]). *)
+val decode_entry : batch -> int -> entry
+
+(** All entries, in seqno order. *)
+val batch_entries : batch -> entry list
+
 type Simnet.Payload.t +=
   | Bcast_req of {
       gname : string;
@@ -50,6 +77,17 @@ type Simnet.Payload.t +=
       seqno : int;
       entry : entry;
     }
+  | Data_batch of { gname : string; epoch : Types.epoch; batch : batch }
+      (** one ordered multicast covering a whole batch (PB, and BB
+          batches that contain entries whose bodies never traveled) *)
+  | Bb_accept_batch of {
+      gname : string;
+      epoch : Types.epoch;
+      base : int;
+      pairs : int array;  (** 2 ints per accept: origin, uid *)
+    }
+      (** BB: one Accept covering [base .. base + n - 1]; members pair
+          each (origin, uid) with its broadcast body *)
   | Ack of { gname : string; epoch : Types.epoch; member : int; have_upto : int }
   | Done of { gname : string; epoch : Types.epoch; uid : int }
   | Retrans of {

@@ -1,9 +1,19 @@
-type t = { config_vector : bool array; seqno : int; recovering : bool }
+type t = {
+  config_vector : bool array;
+  seqno : int;
+  recovering : bool;
+  log : string;
+}
 
 let magic = 0xC0B10C
 
 let make ~servers =
-  { config_vector = Array.make servers true; seqno = 0; recovering = false }
+  {
+    config_vector = Array.make servers true;
+    seqno = 0;
+    recovering = false;
+    log = "";
+  }
 
 let encode t =
   let w = Codec.Writer.create () in
@@ -12,6 +22,7 @@ let encode t =
   Array.iter (Codec.Writer.bool w) t.config_vector;
   Codec.Writer.u32 w t.seqno;
   Codec.Writer.bool w t.recovering;
+  Codec.Writer.string w t.log;
   Codec.Writer.contents w
 
 let decode data =
@@ -24,7 +35,8 @@ let decode data =
     let config_vector = Array.init n (fun _ -> Codec.Reader.bool r) in
     let seqno = Codec.Reader.u32 r in
     let recovering = Codec.Reader.bool r in
-    Some { config_vector; seqno; recovering }
+    let log = Codec.Reader.string r in
+    Some { config_vector; seqno; recovering; log }
   end
 
 let read device = decode (Block_device.read device 0)
@@ -36,5 +48,7 @@ let pp fmt t =
     String.concat ""
       (Array.to_list (Array.map (fun b -> if b then "1" else "0") t.config_vector))
   in
-  Format.fprintf fmt "[%s] seq=%d%s" vector t.seqno
+  Format.fprintf fmt "[%s] seq=%d%s%s" vector t.seqno
     (if t.recovering then " recovering" else "")
+    (if t.log = "" then ""
+     else Printf.sprintf " log=%dB" (String.length t.log))

@@ -13,10 +13,15 @@ type t = {
   config_vector : bool array;  (** indexed by server number *)
   seqno : int;
   recovering : bool;
+  log : string;
+      (** group-commit log: encoded directory operations that were made
+          stable by this block write but not yet applied to their
+          per-directory disk blocks. Replayed (idempotently) at boot;
+          [""] when every directory block is up to date *)
 }
 
 val make : servers:int -> t
-(** All-up vector, seqno 0, not recovering. *)
+(** All-up vector, seqno 0, not recovering, empty log. *)
 
 val encode : t -> bytes
 

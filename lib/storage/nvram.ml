@@ -41,6 +41,29 @@ let append t r =
     true
   end
 
+(* Batched append: one NVRAM write latency covers the whole list. The
+   board commits a contiguous region in a single DMA-like burst, which
+   is what makes group commit pay — [n] records cost one [write_ms]
+   instead of [n]. All-or-nothing on capacity. *)
+let append_all t rs =
+  match rs with
+  | [] -> true
+  | rs ->
+      let size = List.fold_left (fun acc r -> acc + t.size_of r) 0 rs in
+      if t.used + size > t.capacity then false
+      else begin
+        Sim.Proc.sleep t.write_ms;
+        List.iter (fun r -> t.records <- r :: t.records) rs;
+        t.used <- t.used + size;
+        emit t ~name:"nvram.append" (fun () ->
+            [
+              ("bytes", Sim.Trace.Int size);
+              ("used", Sim.Trace.Int t.used);
+              ("records", Sim.Trace.Int (List.length t.records));
+            ]);
+        true
+      end
+
 let remove_if t pred =
   let removed, kept = List.partition pred t.records in
   if removed = [] then []

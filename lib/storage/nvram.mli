@@ -37,6 +37,12 @@ val fill_ratio : 'a t -> float
     the caller must flush first. *)
 val append : 'a t -> 'a -> bool
 
+(** [append_all t rs] logs the records in order with a {e single} NVRAM
+    write latency for the whole list — group commit. All-or-nothing:
+    returns [false] (and logs nothing) when they do not all fit.
+    [append_all t []] is [true] and free. *)
+val append_all : 'a t -> 'a list -> bool
+
 (** [remove_if t pred] removes all matching records {e without} any
     latency beyond a single NVRAM write; returns them oldest-first. *)
 val remove_if : 'a t -> ('a -> bool) -> 'a list

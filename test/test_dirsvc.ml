@@ -356,3 +356,22 @@ let suite =
       Alcotest.test_case "rail failure invisible to the service" `Quick
         test_rail_failure_invisible;
     ]
+
+(* Group-commit batching (ISSUE 8): with batch_max > 1 the servers
+   defer durability to one commit per ordered batch. Semantics must be
+   indistinguishable from the unbatched deployments over both media. *)
+let batched_params = { Dirsvc.Params.default with batch_max = 4 }
+
+let test_batched_crud flavor () =
+  let cluster = boot ~seed:12L ~params:batched_params flavor in
+  on_client cluster crud_cycle;
+  check_converged cluster
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "batched group/disk CRUD" `Quick
+        (test_batched_crud C.Group_disk);
+      Alcotest.test_case "batched group/nvram CRUD" `Quick
+        (test_batched_crud C.Group_nvram);
+    ]

@@ -598,3 +598,276 @@ let suite =
       Alcotest.test_case "BB method: resilient under loss" `Quick
         test_bb_send_resilient_and_lossy;
     ]
+
+(* Sequencer-side batching: flat frames must roundtrip, and batched
+   ordering must keep every protocol guarantee — total order, FIFO,
+   loss recovery, and last-to-fail recovery — while flushing on either
+   the size cap or the window timer. *)
+
+let batch_config =
+  { Group.Types.default_config with batch_max = 4; batch_window = 5.0 }
+
+let entry_equal (a : Group.Wire.entry) (b : Group.Wire.entry) =
+  match (a, b) with
+  | ( App { origin = o1; uid = u1; payload = Note s1 },
+      App { origin = o2; uid = u2; payload = Note s2 } ) ->
+      o1 = o2 && u1 = u2 && s1 = s2
+  | Join_member m1, Join_member m2 | Leave_member m1, Leave_member m2 ->
+      m1 = m2
+  | _ -> false
+
+let batch_codec_property =
+  QCheck.Test.make ~name:"flat batch frame codec roundtrip" ~count:300
+    QCheck.(
+      pair (int_bound 100_000)
+        (list_of_size
+           Gen.(1 -- 24)
+           (triple (int_bound 2) (pair small_nat small_nat) printable_string)))
+    (fun (base, raw) ->
+      QCheck.assume (raw <> []);
+      let entries =
+        List.map
+          (fun (tag, (a, b), s) ->
+            match tag with
+            | 0 -> Group.Wire.App { origin = a; uid = b; payload = Note s }
+            | 1 -> Group.Wire.Join_member a
+            | _ -> Group.Wire.Leave_member a)
+          raw
+      in
+      let arr = Array.of_list entries in
+      let batch = Group.Wire.encode_batch ~base ~count:(Array.length arr) arr in
+      let back = Group.Wire.batch_entries batch in
+      batch.Group.Wire.base = base
+      && batch.Group.Wire.count = Array.length arr
+      && List.length back = Array.length arr
+      && List.for_all2 entry_equal entries back
+      && entry_equal (Group.Wire.decode_entry batch 0) (List.hd entries))
+
+(* Shared receiver harness: app-message logs per member, oldest first. *)
+let collect_logs w get node_of ids ~timeout =
+  let logs = Hashtbl.create 3 in
+  at w ~delay:30.0 (fun () ->
+      List.iter
+        (fun id ->
+          let log = ref [] in
+          Hashtbl.replace logs id log;
+          Sim.Proc.boot w.engine (node_of id) (fun () ->
+              let m = get id in
+              try
+                while true do
+                  match note_of (Group.Member.receive ~timeout m) with
+                  | Some s -> log := s :: !log
+                  | None -> ()
+                done
+              with Sim.Proc.Timeout | Group.Types.Group_failure _ -> ()))
+        ids);
+  fun id -> List.rev !(Hashtbl.find logs id)
+
+let test_batched_total_order () =
+  let w = make_world ~seed:48L () in
+  let get, node_of = start_trio ~config:batch_config w in
+  let log_of = collect_logs w get node_of [ 1; 2; 3 ] ~timeout:500.0 in
+  at w ~delay:35.0 (fun () ->
+      List.iter
+        (fun id ->
+          Sim.Proc.boot w.engine (node_of id) (fun () ->
+              for i = 1 to 10 do
+                Group.Member.send (get id) (Note (Printf.sprintf "%d.%d" id i))
+              done))
+        [ 1; 2; 3 ]);
+  run_until w 1500.0;
+  let l1 = log_of 1 in
+  Alcotest.(check int) "all 30 delivered" 30 (List.length l1);
+  Alcotest.(check (list string)) "identical at 2" l1 (log_of 2);
+  Alcotest.(check (list string)) "identical at 3" l1 (log_of 3);
+  List.iter
+    (fun sender ->
+      let mine =
+        List.filter (fun s -> s.[0] = Char.chr (Char.code '0' + sender)) l1
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "sender %d FIFO through batches" sender)
+        (List.init 10 (fun i -> Printf.sprintf "%d.%d" sender (i + 1)))
+        mine)
+    [ 1; 2; 3 ]
+
+let test_batch_size_flush_cancels_timer () =
+  (* batch_max concurrent sends fill the batch: it must flush on the
+     size cap long before the (deliberately huge) window, and cancel
+     the flush timer rather than leave a corpse to fire later. *)
+  let w = make_world ~seed:49L () in
+  let config =
+    { Group.Types.default_config with batch_max = 3; batch_window = 10_000.0 }
+  in
+  let get, node_of = start_trio ~config w in
+  let log_of = collect_logs w get node_of [ 3 ] ~timeout:400.0 in
+  at w ~delay:35.0 (fun () ->
+      List.iter
+        (fun id ->
+          Sim.Proc.boot w.engine (node_of id) (fun () ->
+              Group.Member.send (get id) (Note (string_of_int id))))
+        [ 1; 2; 3 ]);
+  run_until w 600.0;
+  Alcotest.(check int) "all 3 delivered long before the window" 3
+    (List.length (log_of 3));
+  Alcotest.(check bool) "flush timer cancelled" false
+    (Group.Member.batch_timer_active (get 1))
+
+let test_batch_window_flush () =
+  (* A lone message must not wait for the size cap: the window timer
+     flushes it after batch_window ms. Heartbeats are quieted so the
+     early-fetch path (gossip + Retrans) cannot deliver it sooner. *)
+  let w = make_world ~seed:50L () in
+  let config =
+    {
+      Group.Types.default_config with
+      batch_max = 100;
+      batch_window = 40.0;
+      heartbeat_period = 10_000.0;
+    }
+  in
+  let get, node_of = start_trio ~config w in
+  let delivered_at = ref None in
+  at w ~delay:30.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 3) (fun () ->
+          let m = get 3 in
+          try
+            while true do
+              match note_of (Group.Member.receive ~timeout:800.0 m) with
+              | Some _ -> delivered_at := Some (Sim.Proc.now ())
+              | None -> ()
+            done
+          with Sim.Proc.Timeout | Group.Types.Group_failure _ -> ()));
+  at w ~delay:35.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 2) (fun () ->
+          Group.Member.send (get 2) (Note "lone")));
+  run_until w 1200.0;
+  match !delivered_at with
+  | None -> Alcotest.fail "window flush never delivered the message"
+  | Some t ->
+      Alcotest.(check bool) "held for the batch window" true (t >= 74.0);
+      Alcotest.(check bool) "flushed promptly after it" true (t < 200.0)
+
+let test_batched_loss_retransmission () =
+  (* 20% loss with batching: lost batch frames are recovered through
+     Retrans, which the sequencer answers with covering batch frames.
+     Everything must arrive exactly once, in order, everywhere. *)
+  let w = make_world ~seed:53L () in
+  let config = { batch_config with fail_timeout = 400.0; send_retries = 8 } in
+  let get, node_of = start_trio ~config w in
+  at w ~delay:30.0 (fun () -> Simnet.Network.set_loss w.net 0.2);
+  let log_of = collect_logs w get node_of [ 1; 2; 3 ] ~timeout:3000.0 in
+  at w ~delay:35.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 2) (fun () ->
+          let m = get 2 in
+          for i = 1 to 30 do
+            try Group.Member.send m (Note (string_of_int i))
+            with Group.Types.Group_failure _ -> ()
+          done));
+  run_until w 4000.0;
+  let l1 = log_of 1 in
+  Alcotest.(check (list string)) "all 30 delivered in order at member 1"
+    (List.init 30 (fun i -> string_of_int (i + 1)))
+    l1;
+  Alcotest.(check (list string)) "member 2 identical" l1 (log_of 2);
+  Alcotest.(check (list string)) "member 3 identical" l1 (log_of 3)
+
+let test_batched_sequencer_crash_recovery () =
+  (* Crash the sequencer mid-batch. Every send that RETURNED is held by
+     r + 1 = 3 members, so the reset must preserve it — exactly once,
+     in order. Entries still in the open batch may be lost (their
+     senders never got Done) but must never be duplicated. *)
+  let w = make_world ~seed:51L () in
+  let get, node_of = start_trio ~config:batch_config w in
+  let acked = ref [] in
+  let log = ref [] in
+  at w ~delay:30.0 (fun () ->
+      List.iter
+        (fun id ->
+          Sim.Proc.boot w.engine (node_of id) (fun () ->
+              let m = get id in
+              try
+                while true do
+                  match Group.Member.receive ~timeout:3000.0 m with
+                  | exception Group.Types.Group_failure _ ->
+                      ignore (Group.Member.reset m)
+                  | d -> (
+                      match note_of d with
+                      | Some s when id = 3 -> log := s :: !log
+                      | _ -> ())
+                done
+              with Sim.Proc.Timeout -> ()))
+        [ 2; 3 ]);
+  at w ~delay:35.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 2) (fun () ->
+          try
+            for i = 1 to 15 do
+              Group.Member.send (get 2) (Note (Printf.sprintf "m%d" i));
+              acked := Printf.sprintf "m%d" i :: !acked
+            done
+          with Group.Types.Group_failure _ -> ()));
+  at w ~delay:70.0 (fun () -> Sim.Node.crash (node_of 1));
+  at w ~delay:600.0 (fun () ->
+      Sim.Proc.boot w.engine (node_of 2) (fun () ->
+          try Group.Member.send (get 2) (Note "post-reset")
+          with Group.Types.Group_failure _ -> ()));
+  run_until w 1500.0;
+  let acked = List.rev !acked in
+  let seen = List.rev !log in
+  Alcotest.(check int) "no duplicated deliveries" (List.length seen)
+    (List.length (List.sort_uniq compare seen));
+  let seen_m = List.filter (fun s -> s.[0] = 'm') seen in
+  let rec is_prefix p l =
+    match (p, l) with
+    | [], _ -> true
+    | x :: p', y :: l' -> x = y && is_prefix p' l'
+    | _ :: _, [] -> false
+  in
+  Alcotest.(check bool) "crash lands mid-stream" true
+    (List.length acked < 15);
+  Alcotest.(check bool) "acked sends survive the reset in order" true
+    (is_prefix acked seen_m);
+  Alcotest.(check bool) "at most the open batch in flight" true
+    (List.length seen_m <= List.length acked + batch_config.Group.Types.batch_max);
+  Alcotest.(check bool) "post-reset send delivered" true
+    (List.mem "post-reset" seen)
+
+let bb_batch_config = { batch_config with dissemination = Group.Types.Bb }
+
+let test_bb_batched_total_order () =
+  (* BB + batching: bodies broadcast from senders, one Bb_accept_batch
+     orders a whole run of them. *)
+  let w = make_world ~seed:52L () in
+  let get, node_of = start_trio ~config:bb_batch_config w in
+  let log_of = collect_logs w get node_of [ 1; 2; 3 ] ~timeout:800.0 in
+  at w ~delay:35.0 (fun () ->
+      List.iter
+        (fun id ->
+          Sim.Proc.boot w.engine (node_of id) (fun () ->
+              for i = 1 to 8 do
+                Group.Member.send (get id) (Note (Printf.sprintf "%d.%d" id i))
+              done))
+        [ 1; 2; 3 ]);
+  run_until w 1500.0;
+  let l1 = log_of 1 in
+  Alcotest.(check int) "all 24 delivered" 24 (List.length l1);
+  Alcotest.(check (list string)) "identical at 2" l1 (log_of 2);
+  Alcotest.(check (list string)) "identical at 3" l1 (log_of 3)
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest batch_codec_property;
+      Alcotest.test_case "batched total order, concurrent senders" `Quick
+        test_batched_total_order;
+      Alcotest.test_case "batch size-cap flush cancels the timer" `Quick
+        test_batch_size_flush_cancels_timer;
+      Alcotest.test_case "batch window timer flushes a lone message" `Quick
+        test_batch_window_flush;
+      Alcotest.test_case "batched retransmission under loss" `Quick
+        test_batched_loss_retransmission;
+      Alcotest.test_case "sequencer crash mid-batch: no loss, no dup" `Quick
+        test_batched_sequencer_crash_recovery;
+      Alcotest.test_case "BB batched total order" `Quick
+        test_bb_batched_total_order;
+    ]

@@ -50,6 +50,7 @@ let test_commit_block_roundtrip () =
       Storage.Commit_block.config_vector = [| true; true; false |];
       seqno = 17;
       recovering = true;
+      log = "abc";
     }
   in
   let result =
@@ -61,7 +62,8 @@ let test_commit_block_roundtrip () =
   | Some got ->
       Alcotest.(check (array bool)) "vector" cb.config_vector got.config_vector;
       Alcotest.(check int) "seqno" 17 got.Storage.Commit_block.seqno;
-      Alcotest.(check bool) "recovering" true got.recovering
+      Alcotest.(check bool) "recovering" true got.recovering;
+      Alcotest.(check string) "log" "abc" got.log
   | None -> Alcotest.fail "commit block missing"
 
 let test_commit_block_blank () =
@@ -73,13 +75,15 @@ let test_commit_block_blank () =
 
 let commit_block_codec_property =
   QCheck.Test.make ~name:"commit block codec roundtrip" ~count:200
-    QCheck.(triple (list bool) (int_bound 1_000_000) bool)
-    (fun (vector, seqno, recovering) ->
+    QCheck.(
+      pair (triple (list bool) (int_bound 1_000_000) bool) printable_string)
+    (fun ((vector, seqno, recovering), log) ->
       let cb =
         {
           Storage.Commit_block.config_vector = Array.of_list vector;
           seqno;
           recovering;
+          log;
         }
       in
       match Storage.Commit_block.decode (Storage.Commit_block.encode cb) with
@@ -87,6 +91,7 @@ let commit_block_codec_property =
           got.Storage.Commit_block.config_vector = cb.config_vector
           && got.seqno = seqno
           && got.recovering = recovering
+          && got.log = log
       | None -> false)
 
 let test_object_table () =
@@ -247,3 +252,37 @@ let suite =
     tc "nvram append and annihilate" `Quick test_nvram_append_and_annihilate;
     tc "nvram is fast" `Quick test_nvram_is_fast;
   ]
+
+(* Group commit on NVRAM: one board write covers a whole record batch,
+   all-or-nothing on capacity. *)
+let test_nvram_append_all_group_commit () =
+  let w = make_world () in
+  let n = node ~id:1 "n1" in
+  let nv =
+    Storage.Nvram.create ~capacity:20 ~size_of:String.length ~write_ms:0.05 ()
+  in
+  run_fiber w n (fun () ->
+      let t0 = Sim.Proc.now () in
+      Alcotest.(check bool) "batch fits" true
+        (Storage.Nvram.append_all nv [ "aaaa"; "bbbb"; "cccc" ]);
+      Alcotest.(check (float 1e-9)) "one write for the whole batch" 0.05
+        (Sim.Proc.now () -. t0);
+      Alcotest.(check int) "all recorded" 12 (Storage.Nvram.used_bytes nv);
+      (* 12 + 9 > 20: refused atomically, nothing written. *)
+      Alcotest.(check bool) "overflow refused" false
+        (Storage.Nvram.append_all nv [ "dddd"; "eeeee" ]);
+      Alcotest.(check int) "no partial append" 12 (Storage.Nvram.used_bytes nv);
+      let t1 = Sim.Proc.now () in
+      Alcotest.(check bool) "empty batch is free" true
+        (Storage.Nvram.append_all nv []);
+      Alcotest.(check (float 1e-9)) "and instant" 0.0 (Sim.Proc.now () -. t1);
+      Alcotest.(check (list string)) "drain order oldest-first"
+        [ "aaaa"; "bbbb"; "cccc" ]
+        (Storage.Nvram.take_all nv))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "nvram append_all = one write, all-or-nothing" `Quick
+        test_nvram_append_all_group_commit;
+    ]

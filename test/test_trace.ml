@@ -183,3 +183,35 @@ let suite =
     tc "deterministic fig8 digest" `Quick test_deterministic_fig8_digest;
     tc "deterministic scaled digest" `Quick test_deterministic_scaled_digest;
   ]
+
+(* The scaled same-seed run pinned to constants captured before the
+   batching work (batch_max = 1 is the wire-for-wire unbatched
+   protocol). Unlike the run-twice digest tests above, this catches a
+   change that perturbs the trace deterministically in BOTH runs —
+   one reordered or reworded event and the digest moves. *)
+let test_scaled_digest_golden () =
+  let cluster =
+    Dirsvc.Cluster.create ~seed:5001L ~servers:5 Dirsvc.Cluster.Group_disk
+  in
+  let trace = Sim.Trace.create ~capacity:65_536 () in
+  Sim.Engine.set_trace (Dirsvc.Cluster.engine cluster) (Some trace);
+  let point =
+    Workload.Throughput.append_deletes cluster ~clients:8 ~warmup:200.0
+      ~window:500.0
+  in
+  let engine = Dirsvc.Cluster.engine cluster in
+  Alcotest.(check string) "pinned trace digest"
+    "5f4c120198a2d63970cbd377d2c03d40"
+    (Digest.to_hex (Digest.string (Sim.Trace.to_jsonl trace)));
+  Alcotest.(check int) "pinned op count" 13 point.Workload.Throughput.total_ops;
+  Alcotest.(check int) "pinned event count" 10_853
+    (Sim.Engine.events_executed engine);
+  Alcotest.(check (float 1e-9)) "pinned final clock" 3492.6241034143059
+    (Sim.Engine.now engine)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "scaled digest matches pinned golden value" `Quick
+        test_scaled_digest_golden;
+    ]
