@@ -546,3 +546,49 @@ let suite =
       Alcotest.test_case "batched commit-block log replays after reboot"
         `Quick test_batched_group_commit_replay;
     ]
+
+(* REVIEW REPRO: delete annihilating a glog append, then crash. *)
+let test_review_annihilation_crash () =
+  let params = { Dirsvc.Params.default with batch_max = 4 } in
+  let cluster = boot ~seed:39L ~params C.Group_disk in
+  let cap =
+    on_client cluster (fun client ->
+        let cap =
+          retrying (fun () ->
+              Dirsvc.Client.create_dir client ~columns:[ "owner" ])
+        in
+        retrying (fun () ->
+            Dirsvc.Client.append_row client cap ~name:"victim" [ cap ]);
+        cap)
+  in
+  (* Delete the row, crash every server right after the ack — inside
+     the batch_persist_idle_ms window. *)
+  let client = C.client cluster in
+  let cnode = Rpc.Transport.node (Dirsvc.Client.transport client) in
+  let deleted = ref false in
+  Sim.Proc.boot (C.engine cluster) cnode (fun () ->
+      retrying (fun () -> Dirsvc.Client.delete_row client cap ~name:"victim");
+      deleted := true);
+  let deadline = Sim.Engine.now (C.engine cluster) +. 30_000.0 in
+  while (not !deleted) && Sim.Engine.now (C.engine cluster) < deadline do
+    advance cluster 10.0
+  done;
+  Alcotest.(check bool) "delete acknowledged" true !deleted;
+  List.iter (fun i -> C.crash_server cluster i) [ 1; 2; 3 ];
+  advance cluster 500.0;
+  List.iter (fun i -> C.restart_server cluster i) [ 1; 2; 3 ];
+  Alcotest.(check bool) "cluster recovers" true
+    (C.await_serving ~timeout:20_000.0 cluster ~count:3);
+  advance cluster 1_000.0;
+  on_client cluster (fun client ->
+      let listing = retrying (fun () -> Dirsvc.Client.list_dir client cap) in
+      Alcotest.(check (list string)) "acknowledged delete survives the crash"
+        []
+        (List.map (fun (n, _, _) -> n) listing.Dirsvc.Directory.entries))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "REVIEW repro: annihilated delete durability" `Quick
+        test_review_annihilation_crash;
+    ]
