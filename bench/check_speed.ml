@@ -139,6 +139,47 @@ let alloc_gate () =
         exit 1
       end
 
+(* Shard-scaling gate: splitting the namespace over four sequencer
+   groups must actually buy ordering parallelism — the shard workload on
+   a 4-shard deployment (3 servers each) must complete at least 2x the
+   client iterations of the single 12-server group in the same window.
+   Each run is seed-fixed, so the ratio is exact for a given build.
+   DIRSIM_SKIP_SHARD_GATE=1 skips it, recorded honestly in the output. *)
+
+let shard_gate () =
+  match Sys.getenv_opt "DIRSIM_SKIP_SHARD_GATE" with
+  | Some _ ->
+      Printf.printf "shard gate: skipped (DIRSIM_SKIP_SHARD_GATE is set)\n"
+  | None ->
+      let run shards =
+        let params = { Dirsvc.Params.default with shards } in
+        let cluster =
+          C.create ~seed:4242L ~params ~servers:(12 / shards) C.Group_disk
+        in
+        let point =
+          Workload.Throughput.shard_updates cluster ~clients:16 ~window:1_000.0
+        in
+        point.Workload.Throughput.total_ops
+      in
+      let ops1 = run 1 in
+      let ops4 = run 4 in
+      let ratio = float_of_int ops4 /. float_of_int ops1 in
+      let ok = ratio >= 2.0 in
+      Printf.printf
+        "shard gate: shards=1 %d ops  shards=4 %d ops  speedup %.2fx  (floor \
+         2.00x) %s\n"
+        ops1 ops4 ratio
+        (if ok then "ok" else "FAIL");
+      if not ok then begin
+        Printf.eprintf
+          "check_speed: four shards delivered %.2fx the single-group update \
+           throughput (must be >= 2x).\n\
+           The partition is not spreading ordering load — check the shard \
+           router's placement hashing and the per-shard sequencers.\n"
+          ratio;
+        exit 1
+      end
+
 let () =
   let failed = ref [] in
   List.iter
@@ -163,4 +204,5 @@ let () =
         (String.concat ", " (List.rev names));
       exit 1);
   alloc_gate ();
+  shard_gate ();
   parallel_gate ()

@@ -1276,6 +1276,146 @@ let speed () =
              rows) );
     ]
 
+(* ---- Shards: throughput vs shard count (fixed replica budget) ------ *)
+
+(* One measured run: an [m]-shard deployment spending the whole
+   12-server budget (so more shards means smaller groups), driven by the
+   update-heavy shard workload. [cross_period = 0] is the pure-update
+   column; [cross_period = 8] mixes in a cross-shard move every 8th
+   iteration per client. *)
+let measure_shards ~m ~budget ~clients ~window ~cross_period seed =
+  let params = { Dirsvc.Params.default with shards = m } in
+  let cluster = C.create ~seed ~params ~servers:(budget / m) C.Group_disk in
+  let point =
+    Workload.Throughput.shard_updates cluster ~clients ~window ~cross_period
+  in
+  ( point.Workload.Throughput.per_second,
+    point.Workload.Throughput.total_ops,
+    point.Workload.Throughput.errors,
+    Sim.Metrics.count (C.metrics cluster) "dirsvc.cross_shard",
+    histogram_summaries (C.metrics cluster) )
+
+let shards_experiment () =
+  let quick = !speed_quick in
+  let budget = 12 in
+  let shard_counts = [ 1; 2; 4 ] in
+  let clients = if quick then 8 else 24 in
+  let window = if quick then 500.0 else 8_000.0 in
+  printf "\n== Shards: update throughput vs shard count (%d-server budget) ==\n"
+    budget;
+  printf "(%d clients, %.0f ms window%s; mean of 3 seeds)\n\n" clients window
+    (if quick then ", --quick" else "");
+  let submit ~base ~cross_period =
+    List.map
+      (fun m ->
+        ( m,
+          List.map
+            (fun seed ->
+              psubmit (fun () ->
+                  measure_shards ~m ~budget ~clients ~window ~cross_period seed))
+            (replicate_seeds base) ))
+      shard_counts
+  in
+  (* Both columns fan out over the pool before either joins. Updates
+     serialize through each group's sequencer commit, so a window fits
+     only a handful of iterations per client; the mix moves every 2nd
+     (quick) / 4th iteration so the cross path actually runs. *)
+  let cross_period = if quick then 2 else 4 in
+  let upd_futs = submit ~base:4200L ~cross_period:0 in
+  let cross_futs = submit ~base:4300L ~cross_period in
+  let join futures =
+    List.map
+      (fun (m, futs) ->
+        let results = List.map Sim.Pool.await futs in
+        let mean f = stats_mean (List.map f results) in
+        let per_second = mean (fun (ps, _, _, _, _) -> ps) in
+        let ops = mean (fun (_, ops, _, _, _) -> float_of_int ops) in
+        let errors = mean (fun (_, _, e, _, _) -> float_of_int e) in
+        let cross = mean (fun (_, _, _, c, _) -> float_of_int c) in
+        let hists =
+          match results with (_, _, _, _, h) :: _ -> h | [] -> J.Null
+        in
+        (m, per_second, ops, errors, cross, hists))
+      futures
+  in
+  let upd = join upd_futs in
+  let cross = join cross_futs in
+  let base_rate rows =
+    match rows with (_, ps, _, _, _, _) :: _ -> ps | [] -> nan
+  in
+  let upd_base = base_rate upd and cross_base = base_rate cross in
+  (* A --quick window can measure 0 ops/s at the slow end; don't print
+     (or emit) nan/inf ratios off that. *)
+  let speedup ps base =
+    if base > 0.0 then Some (ps /. base) else None
+  in
+  let speedup_cell ps base =
+    match speedup ps base with
+    | Some s -> Printf.sprintf "%.2fx" s
+    | None -> "-"
+  in
+  printf "update-only (append+delete pairs, cross_period = 0):\n";
+  print_string
+    (Workload.Tables.render
+       ~header:[ "shards"; "servers/shard"; "updates/s"; "ops"; "speedup" ]
+       (List.map
+          (fun (m, ps, ops, _errors, _cross, _h) ->
+            [
+              string_of_int m;
+              string_of_int (budget / m);
+              Printf.sprintf "%.0f" ps;
+              Printf.sprintf "%.0f" ops;
+              speedup_cell ps upd_base;
+            ])
+          upd));
+  printf "\ncross-shard mix (every %dth iteration moves a row):\n" cross_period;
+  print_string
+    (Workload.Tables.render
+       ~header:
+         [ "shards"; "updates/s"; "ops"; "speedup"; "x-commits"; "errors" ]
+       (List.map
+          (fun (m, ps, ops, errors, cross, _h) ->
+            [
+              string_of_int m;
+              Printf.sprintf "%.0f" ps;
+              Printf.sprintf "%.0f" ops;
+              speedup_cell ps cross_base;
+              Printf.sprintf "%.0f" cross;
+              Printf.sprintf "%.0f" errors;
+            ])
+          cross));
+  let column rows base =
+    J.List
+      (List.map
+         (fun (m, ps, ops, errors, cross, hists) ->
+           J.Obj
+             [
+               ("shards", J.Int m);
+               ("servers_per_shard", J.Int (budget / m));
+               ("per_second", J.Float ps);
+               ("total_ops", J.Float ops);
+               ("errors", J.Float errors);
+               ("cross_shard_commits", J.Float cross);
+               ( "speedup_vs_1",
+                 match speedup ps base with
+                 | Some s -> J.Float s
+                 | None -> J.Null );
+               ("op_histograms", hists);
+             ])
+         rows)
+  in
+  J.Obj
+    [
+      ("quick", J.Bool quick);
+      ("budget_servers", J.Int budget);
+      ("clients", J.Int clients);
+      ("window_ms", J.Float window);
+      ("seeds_per_point", J.Int 3);
+      ("cross_period", J.Int cross_period);
+      ("update_only", column upd upd_base);
+      ("cross_mix", column cross cross_base);
+    ]
+
 let all_experiments =
   [
     ("fig7", fig7);
@@ -1289,6 +1429,7 @@ let all_experiments =
     ("availability", availability);
     ("ablation-method", ablation_method);
     ("micro", micro);
+    ("shards", shards_experiment);
     ("speed", speed);
   ]
 

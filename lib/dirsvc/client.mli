@@ -11,13 +11,23 @@ type t
 
 val make : ?timeout:float -> Rpc.Transport.t -> port:string -> t
 
+(** A client for a sharded deployment: requests route through the
+    shard router's partition map and follow [Wrong_shard] bounces. *)
+val make_sharded : ?timeout:float -> Shard_router.t -> t
+
+(** The underlying transport (shard 0's in a sharded client). *)
 val transport : t -> Rpc.Transport.t
+
+(** The shard router, when this client is sharded. *)
+val router : t -> Shard_router.t option
 
 (** Updates (Fig. 2). *)
 
 (** [create_dir t ~columns] returns the owner capability of the new
-    directory. *)
-val create_dir : t -> columns:string list -> Capability.t
+    directory. [placement] is the name the partition map hashes to
+    pick the directory's shard (sharded clients only; default
+    shard 0). *)
+val create_dir : ?placement:string -> t -> columns:string list -> Capability.t
 
 val delete_dir : t -> Capability.t -> unit
 
@@ -43,9 +53,27 @@ val list_dir : t -> ?column:int -> Capability.t -> Directory.listing
 val lookup :
   t -> ?column:int -> Capability.t -> string -> (Capability.t * int) option
 
-(** The paper's "Lookup set": several names resolved in one request. *)
+(** The paper's "Lookup set": several names resolved in one request
+    (one request per shard touched, for a sharded client). *)
 val lookup_set :
   t ->
   ?column:int ->
   (Capability.t * string) list ->
   (Capability.t * int) option list
+
+(** [move_row t ~src ~dst ~name] moves the row [name] from directory
+    [src] to directory [dst]. When the two directories live on
+    different shards this is a two-group coordinator commit (prepare
+    both, commit source then destination); otherwise a plain
+    append + delete. [hook] is called after each protocol step with
+    ["prepared_src"], ["prepared_dst"], ["committed_src"],
+    ["committed_dst"] — a hook that raises simulates a coordinator
+    crash at that point (no abort is sent), leaving termination to
+    the shards' resolvers. *)
+val move_row :
+  ?hook:(string -> unit) ->
+  t ->
+  src:Capability.t ->
+  dst:Capability.t ->
+  name:string ->
+  unit

@@ -11,14 +11,31 @@ type server_slot = {
   mutable nfs_server : Nfs_server.t option;
 }
 
+(* One replica group. A single-group deployment ([Params.shards] = 1,
+   and always for the RPC / NFS flavours) is exactly the pre-sharding
+   cluster: one network split off the engine RNG, legacy node ids and
+   names, service port "dirsvc". A sharded deployment gives each group
+   its own network whose RNG seed comes from [Rng.derive ~base:seed],
+   so shard k's event stream is independent of how many other shards
+   exist, plus a backbone network for cross-shard termination
+   queries. *)
+type shard = {
+  index : int;
+  snet : Simnet.Network.t;
+  sport : string;
+  sgname : string;
+  slots : server_slot array; (* index = server_id - 1 *)
+}
+
 type t = {
   flavor : flavor;
   engine : Sim.Engine.t;
-  net : Simnet.Network.t;
+  net : Simnet.Network.t; (* shard 0's network *)
   metrics : Sim.Metrics.t;
   params : Params.t;
-  port : string;
-  slots : server_slot array; (* index = server_id - 1 *)
+  port : string; (* shard 0's service port *)
+  shard_arr : shard array;
+  backbone : Simnet.Network.t option;
   mutable next_client : int;
 }
 
@@ -34,51 +51,67 @@ let params t = t.params
 
 let port t = t.port
 
-let n_servers t = Array.length t.slots
+let shards t = Array.length t.shard_arr
+
+let n_servers t = Array.length t.shard_arr.(0).slots
+
+let total_servers t =
+  Array.fold_left (fun acc sh -> acc + Array.length sh.slots) 0 t.shard_arr
+
+let shard_port t k = t.shard_arr.(k).sport
 
 let run_until t time = Sim.Engine.run ~until:time t.engine
 
-let dir_node_id server_id = server_id
+(* Node-id scheme: shard k's servers live at 500k + server_id (Bullet
+   at 500k + 20 + server_id), so shard 0 keeps the legacy ids and no
+   shard collides with client ids (100+). *)
+let dir_node_id ~shard_index server_id = (500 * shard_index) + server_id
 
-let bullet_node_id server_id = 20 + server_id
+let bullet_node_id ~shard_index server_id = (500 * shard_index) + 20 + server_id
 
-let gname = "dirgrp"
-
-let make_device t ~name =
-  Storage.Block_device.create t.engine ~metrics:t.metrics ~name
-    ~blocks:t.params.Params.disk_blocks
-    ~block_size:t.params.Params.disk_block_size
-    ~read_ms:t.params.Params.disk_read_ms
-    ~write_ms:t.params.Params.disk_write_ms ()
+let make_device ~engine ~metrics ~params ~name =
+  Storage.Block_device.create engine ~metrics ~name
+    ~blocks:params.Params.disk_blocks
+    ~block_size:params.Params.disk_block_size
+    ~read_ms:params.Params.disk_read_ms ~write_ms:params.Params.disk_write_ms
+    ()
 
 (* Boot the Bullet server that shares server [i]'s disk. *)
-let boot_bullet t slot =
+let boot_bullet t ~snet slot =
   match slot.bullet_node with
   | None -> ()
   | Some node ->
-      let nic = Simnet.Network.attach t.net node in
-      let transport = Rpc.Transport.create t.net nic in
+      let nic = Simnet.Network.attach snet node in
+      let transport = Rpc.Transport.create snet nic in
       let cpu = Sim.Resource.create ~name:"bullet-cpu" ~capacity:1 () in
       ignore
-        (Storage.Bullet.start t.net transport ~device:slot.device
+        (Storage.Bullet.start snet transport ~device:slot.device
            ~first_block:(t.params.Params.admin_slots + 1)
            ~region_blocks:
              (t.params.Params.disk_blocks - t.params.Params.admin_slots - 1)
            ~cpu ~cpu_ms:t.params.Params.bullet_cpu_ms ())
 
-let peers t =
-  List.init (n_servers t) (fun i -> (i + 1, dir_node_id (i + 1)))
+let peers_of shard =
+  Array.to_list shard.slots
+  |> List.mapi (fun i slot -> (i + 1, Sim.Node.id slot.dir_node))
 
-let boot_dir_server t server_id =
-  let slot = t.slots.(server_id - 1) in
+let boot_dir_server t shard server_id =
+  let slot = shard.slots.(server_id - 1) in
   match t.flavor with
   | Group_disk | Group_nvram ->
+      let bullet_port =
+        match slot.bullet_node with
+        | Some node -> Storage.Bullet.port_of (Sim.Node.id node)
+        | None -> assert false
+      in
+      let sharded = Array.length t.shard_arr > 1 in
       let server =
         Group_server.start ~params:t.params ~metrics:t.metrics
-          ?nvram:slot.nvram t.net ~server_id ~peers:(peers t)
-          ~node:slot.dir_node ~device:slot.device
-          ~bullet_port:(Storage.Bullet.port_of (bullet_node_id server_id))
-          ~gname ~port:t.port ()
+          ?nvram:slot.nvram
+          ?shard:(if sharded then Some shard.index else None)
+          ?xnet:t.backbone shard.snet ~server_id ~peers:(peers_of shard)
+          ~node:slot.dir_node ~device:slot.device ~bullet_port
+          ~gname:shard.sgname ~port:shard.sport ()
       in
       slot.group_server <- Some server
   | Rpc_pair ->
@@ -86,22 +119,80 @@ let boot_dir_server t server_id =
       let intent_device =
         match slot.intent_device with Some d -> d | None -> assert false
       in
+      let bullet_port =
+        match slot.bullet_node with
+        | Some node -> Storage.Bullet.port_of (Sim.Node.id node)
+        | None -> assert false
+      in
       let server =
-        Rpc_server.start ~params:t.params ~metrics:t.metrics t.net ~server_id
-          ~peer_node:(dir_node_id peer) ~node:slot.dir_node
-          ~device:slot.device ~intent_device
-          ~bullet_port:(Storage.Bullet.port_of (bullet_node_id server_id))
-          ~port:t.port ()
+        Rpc_server.start ~params:t.params ~metrics:t.metrics shard.snet
+          ~server_id
+          ~peer_node:(Sim.Node.id shard.slots.(peer - 1).dir_node)
+          ~node:slot.dir_node ~device:slot.device ~intent_device ~bullet_port
+          ~port:shard.sport ()
       in
       slot.rpc_server <- Some server
   | Nfs_single ->
       let server =
-        Nfs_server.start ~params:t.params ~metrics:t.metrics t.net
-          ~node:slot.dir_node ~device:slot.device ~port:t.port ()
+        Nfs_server.start ~params:t.params ~metrics:t.metrics shard.snet
+          ~node:slot.dir_node ~device:slot.device ~port:shard.sport ()
       in
       slot.nfs_server <- Some server
 
-let create ?(seed = 7L) ?(params = Params.default) ?servers ?(rails = 1) flavor =
+let make_slots ~engine ~metrics ~params ~flavor ~shard_index ~multi n =
+  Array.init n (fun i ->
+      let server_id = i + 1 in
+      let prefixed fmt =
+        if multi then Printf.sprintf "s%d.%s%d" shard_index fmt server_id
+        else Printf.sprintf "%s%d" fmt server_id
+      in
+      let device = make_device ~engine ~metrics ~params ~name:(prefixed "disk") in
+      let intent_device =
+        match flavor with
+        | Rpc_pair ->
+            Some
+              (Storage.Block_device.create engine ~metrics
+                 ~name:(Printf.sprintf "intent%d" server_id)
+                 ~blocks:64 ~block_size:params.Params.disk_block_size
+                 ~read_ms:params.Params.disk_read_ms
+                 ~write_ms:params.Params.intentions_write_ms ())
+        | Group_disk | Group_nvram | Nfs_single -> None
+      in
+      let nvram =
+        match flavor with
+        | Group_nvram ->
+            Some
+              (Storage.Nvram.create ~engine
+                 ~capacity:params.Params.nvram_capacity
+                 ~size_of:Group_server.log_record_size
+                 ~write_ms:params.Params.nvram_write_ms ())
+        | Group_disk | Rpc_pair | Nfs_single -> None
+      in
+      let bullet_node =
+        match flavor with
+        | Nfs_single -> None
+        | Group_disk | Group_nvram | Rpc_pair ->
+            Some
+              (Sim.Node.create
+                 ~id:(bullet_node_id ~shard_index server_id)
+                 ~name:(prefixed "bullet"))
+      in
+      {
+        dir_node =
+          Sim.Node.create
+            ~id:(dir_node_id ~shard_index server_id)
+            ~name:(prefixed "dir");
+        bullet_node;
+        device;
+        intent_device;
+        nvram;
+        group_server = None;
+        rpc_server = None;
+        nfs_server = None;
+      })
+
+let create ?(seed = 7L) ?(params = Params.default) ?servers ?(rails = 1) flavor
+    =
   let n =
     match (servers, flavor) with
     | Some n, (Group_disk | Group_nvram) -> n
@@ -109,78 +200,92 @@ let create ?(seed = 7L) ?(params = Params.default) ?servers ?(rails = 1) flavor 
     | _, Rpc_pair -> 2
     | _, Nfs_single -> 1
   in
+  let shards_n =
+    match flavor with
+    | Group_disk | Group_nvram -> max 1 params.Params.shards
+    | Rpc_pair | Nfs_single -> 1
+  in
   let engine = Sim.Engine.create ~seed () in
   let metrics = Sim.Metrics.create () in
-  let net =
-    Simnet.Network.create engine ~metrics ~latency:params.Params.net_latency
-      ~rails ()
-  in
   let t =
-    {
-      flavor;
-      engine;
-      net;
-      metrics;
-      params;
-      port = "dirsvc";
-      slots = [||];
-      next_client = 0;
-    }
+    if shards_n = 1 then begin
+      (* Single group: the exact legacy construction order (network
+         split off the engine RNG, legacy names), byte-identical per
+         seed to the pre-sharding cluster. *)
+      let net =
+        Simnet.Network.create engine ~metrics ~latency:params.Params.net_latency
+          ~rails ()
+      in
+      let slots =
+        make_slots ~engine ~metrics ~params ~flavor ~shard_index:0 ~multi:false
+          n
+      in
+      let shard0 =
+        { index = 0; snet = net; sport = "dirsvc"; sgname = "dirgrp"; slots }
+      in
+      {
+        flavor;
+        engine;
+        net;
+        metrics;
+        params;
+        port = shard0.sport;
+        shard_arr = [| shard0 |];
+        backbone = None;
+        next_client = 0;
+      }
+    end
+    else begin
+      (* Shard k's network runs on derived seed k — independent of the
+         engine RNG and of every other shard; index [shards_n] seeds
+         the backbone. *)
+      let seeds =
+        Array.of_list (Sim.Rng.derive ~base:seed (shards_n + 1))
+      in
+      let shard_arr =
+        Array.init shards_n (fun k ->
+            let snet =
+              Simnet.Network.create engine ~metrics
+                ~latency:params.Params.net_latency ~rails ~seed:seeds.(k) ()
+            in
+            let slots =
+              make_slots ~engine ~metrics ~params ~flavor ~shard_index:k
+                ~multi:true n
+            in
+            {
+              index = k;
+              snet;
+              sport = Printf.sprintf "dirsvc%d" k;
+              sgname = Printf.sprintf "dirgrp%d" k;
+              slots;
+            })
+      in
+      let backbone =
+        Simnet.Network.create engine ~metrics
+          ~latency:params.Params.net_latency ~rails ~seed:seeds.(shards_n) ()
+      in
+      {
+        flavor;
+        engine;
+        net = shard_arr.(0).snet;
+        metrics;
+        params;
+        port = shard_arr.(0).sport;
+        shard_arr;
+        backbone = Some backbone;
+        next_client = 0;
+      }
+    end
   in
-  let slots =
-    Array.init n (fun i ->
-        let server_id = i + 1 in
-        let device =
-          make_device t ~name:(Printf.sprintf "disk%d" server_id)
-        in
-        let intent_device =
-          match flavor with
-          | Rpc_pair ->
-              Some
-                (Storage.Block_device.create engine ~metrics
-                   ~name:(Printf.sprintf "intent%d" server_id)
-                   ~blocks:64 ~block_size:params.Params.disk_block_size
-                   ~read_ms:params.Params.disk_read_ms
-                   ~write_ms:params.Params.intentions_write_ms ())
-          | Group_disk | Group_nvram | Nfs_single -> None
-        in
-        let nvram =
-          match flavor with
-          | Group_nvram ->
-              Some
-                (Storage.Nvram.create ~engine
-                   ~capacity:params.Params.nvram_capacity
-                   ~size_of:Group_server.log_record_size
-                   ~write_ms:params.Params.nvram_write_ms ())
-          | Group_disk | Rpc_pair | Nfs_single -> None
-        in
-        let bullet_node =
-          match flavor with
-          | Nfs_single -> None
-          | Group_disk | Group_nvram | Rpc_pair ->
-              Some
-                (Sim.Node.create
-                   ~id:(bullet_node_id server_id)
-                   ~name:(Printf.sprintf "bullet%d" server_id))
-        in
-        {
-          dir_node =
-            Sim.Node.create ~id:(dir_node_id server_id)
-              ~name:(Printf.sprintf "dir%d" server_id);
-          bullet_node;
-          device;
-          intent_device;
-          nvram;
-          group_server = None;
-          rpc_server = None;
-          nfs_server = None;
-        })
-  in
-  let t = { t with slots } in
-  Array.iter (boot_bullet t) t.slots;
-  for server_id = 1 to n do
-    boot_dir_server t server_id
-  done;
+  Array.iter
+    (fun sh -> Array.iter (boot_bullet t ~snet:sh.snet) sh.slots)
+    t.shard_arr;
+  Array.iter
+    (fun sh ->
+      for server_id = 1 to Array.length sh.slots do
+        boot_dir_server t sh server_id
+      done)
+    t.shard_arr;
   t
 
 let client ?rpc_config t =
@@ -190,31 +295,55 @@ let client ?rpc_config t =
       ~id:(100 + t.next_client)
       ~name:(Printf.sprintf "client%d" t.next_client)
   in
-  let nic = Simnet.Network.attach t.net node in
-  let transport = Rpc.Transport.create ?config:rpc_config t.net nic in
-  Client.make transport ~port:t.port
+  if Array.length t.shard_arr = 1 then begin
+    let nic = Simnet.Network.attach t.net node in
+    let transport = Rpc.Transport.create ?config:rpc_config t.net nic in
+    Client.make transport ~port:t.port
+  end
+  else begin
+    (* One NIC + transport per shard: each shard's locate / port cache
+       lives in its own transport, so a view change on one shard never
+       touches another shard's cache. *)
+    let transports =
+      Array.map
+        (fun sh ->
+          let nic = Simnet.Network.attach sh.snet node in
+          Rpc.Transport.create ?config:rpc_config sh.snet nic)
+        t.shard_arr
+    in
+    let ports = Array.map (fun sh -> sh.sport) t.shard_arr in
+    Client.make_sharded
+      (Shard_router.make ~metrics:t.metrics transports ~ports)
+  end
 
-let crash_server t server_id =
-  Sim.Node.crash t.slots.(server_id - 1).dir_node
+let crash_server_in t ~shard server_id =
+  Sim.Node.crash t.shard_arr.(shard).slots.(server_id - 1).dir_node
 
-let restart_server t server_id =
-  let slot = t.slots.(server_id - 1) in
+let restart_server_in t ~shard server_id =
+  let sh = t.shard_arr.(shard) in
+  let slot = sh.slots.(server_id - 1) in
   if not (Sim.Node.is_alive slot.dir_node) then begin
     Sim.Node.restart slot.dir_node;
-    boot_dir_server t server_id
+    boot_dir_server t sh server_id
   end
+
+let crash_server t server_id = crash_server_in t ~shard:0 server_id
+
+let restart_server t server_id = restart_server_in t ~shard:0 server_id
 
 let reboot_server t server_id =
   crash_server t server_id;
   restart_server t server_id
 
-let group_server t server_id =
-  match t.slots.(server_id - 1).group_server with
+let group_server_in t ~shard server_id =
+  match t.shard_arr.(shard).slots.(server_id - 1).group_server with
   | Some s -> s
   | None -> invalid_arg "Cluster.group_server: not a group deployment"
 
-let store_snapshots t =
-  Array.to_list t.slots
+let group_server t server_id = group_server_in t ~shard:0 server_id
+
+let store_snapshots_in t ~shard =
+  Array.to_list t.shard_arr.(shard).slots
   |> List.mapi (fun i slot ->
          let server_id = i + 1 in
          let store =
@@ -226,8 +355,10 @@ let store_snapshots t =
          in
          (server_id, store))
 
-let serving_servers t =
-  Array.to_list t.slots
+let store_snapshots t = store_snapshots_in t ~shard:0
+
+let serving_servers_in t ~shard =
+  Array.to_list t.shard_arr.(shard).slots
   |> List.mapi (fun i slot ->
          match slot.group_server with
          | Some s when Group_server.serving s && Sim.Node.is_alive slot.dir_node
@@ -236,14 +367,22 @@ let serving_servers t =
          | Some _ | None -> None)
   |> List.filter_map Fun.id
 
-let device t server_id = t.slots.(server_id - 1).device
+let serving_servers t = serving_servers_in t ~shard:0
+
+let total_serving t =
+  Array.fold_left
+    (fun acc sh -> acc + List.length (serving_servers_in t ~shard:sh.index))
+    0 t.shard_arr
+
+let device t server_id = t.shard_arr.(0).slots.(server_id - 1).device
 
 (* Event-driven replacement for a 20 ms chunked poller: each serving
    transition stops the engine via [set_serving_watch]; we then drain to
    the 20 ms boundary the poller would have sampled the predicate on, so
-   the final clock (which later scenarios anchor on) is unchanged. *)
+   the final clock (which later scenarios anchor on) is unchanged.
+   [count] counts serving servers across every shard. *)
 let await_serving ?(timeout = 2000.0) t ~count =
-  let pred () = List.length (serving_servers t) >= count in
+  let pred () = total_serving t >= count in
   let quantum = 20.0 in
   let start = Sim.Engine.now t.engine in
   let deadline = start +. timeout in
@@ -257,11 +396,14 @@ let await_serving ?(timeout = 2000.0) t ~count =
   let watch () = if !armed && pred () then Sim.Engine.stop t.engine in
   let set_watch w =
     Array.iter
-      (fun slot ->
-        match slot.group_server with
-        | Some s -> Group_server.set_serving_watch s w
-        | None -> ())
-      t.slots
+      (fun sh ->
+        Array.iter
+          (fun slot ->
+            match slot.group_server with
+            | Some s -> Group_server.set_serving_watch s w
+            | None -> ())
+          sh.slots)
+      t.shard_arr
   in
   set_watch (Some watch);
   let rec go () =
@@ -290,6 +432,6 @@ let await_serving ?(timeout = 2000.0) t ~count =
   ok
 
 let bullet_port t server_id =
-  match t.slots.(server_id - 1).bullet_node with
+  match t.shard_arr.(0).slots.(server_id - 1).bullet_node with
   | Some node -> Storage.Bullet.port_of (Sim.Node.id node)
   | None -> invalid_arg "Cluster.bullet_port: no bullet in this flavour"

@@ -18,7 +18,12 @@ type t
 
 (** [create flavor] builds and boots a deployment. [servers] is the
     replica count for the group flavours (default 3; the paper notes the
-    protocol is unchanged for more). *)
+    protocol is unchanged for more). With [params.shards] > 1 (group
+    flavours only) the deployment becomes a "cluster of clusters":
+    [shards] independent replica groups of [servers] machines each, a
+    hash partition of the namespace across them, and a backbone
+    network for cross-shard transaction termination. [shards = 1] is
+    byte-identical per seed to the pre-sharding cluster. *)
 val create :
   ?seed:int64 -> ?params:Params.t -> ?servers:int -> ?rails:int -> flavor -> t
   [@@ocaml.doc
@@ -36,18 +41,31 @@ val metrics : t -> Sim.Metrics.t
 
 val params : t -> Params.t
 
+(** Replica count of one group (shard). *)
 val n_servers : t -> int
+
+(** Number of replica groups (1 unless [params.shards] > 1). *)
+val shards : t -> int
+
+(** Directory servers across every shard ([shards * n_servers]). *)
+val total_servers : t -> int
+
+(** Service port of shard [k] ("dirsvc" when there is one shard). *)
+val shard_port : t -> int -> string
 
 (** Run the simulation clock forward (absolute target time). *)
 val run_until : t -> float -> unit
 
 (** [client t] creates a fresh client machine with its own transport.
-    [rpc_config] tunes the client kernel's transaction behaviour (e.g.
-    tests that must not fail over to another server pass
+    In a sharded deployment the client gets one transport per shard
+    (separate locate caches) behind a {!Shard_router}. [rpc_config]
+    tunes the client kernel's transaction behaviour (e.g. tests that
+    must not fail over to another server pass
     [{ default_config with max_attempts = 1 }]). *)
 val client : ?rpc_config:Rpc.Transport.config -> t -> Client.t
 
-(** Fault injection. Server ids are 1-based. *)
+(** Fault injection. Server ids are 1-based; [_in] variants address a
+    specific shard (shard 0 = the plain functions). *)
 
 (** Crash the directory server process/machine (its Bullet server and
     disk survive). *)
@@ -60,20 +78,30 @@ val reboot_server : t -> int -> unit
 (** Restart a previously crashed server. *)
 val restart_server : t -> int -> unit
 
+val crash_server_in : t -> shard:int -> int -> unit
+
+val restart_server_in : t -> shard:int -> int -> unit
+
 (** Introspection. *)
 
 val group_server : t -> int -> Group_server.t
 
+val group_server_in : t -> shard:int -> int -> Group_server.t
+
 val store_snapshots : t -> (int * Directory.store) list
 
-(** For group flavours: ids of servers currently serving. *)
+val store_snapshots_in : t -> shard:int -> (int * Directory.store) list
+
+(** For group flavours: ids of servers currently serving (shard 0). *)
 val serving_servers : t -> int list
+
+val serving_servers_in : t -> shard:int -> int list
 
 val device : t -> int -> Storage.Block_device.t
 
 (** Wait (in simulated time) until at least [count] group servers are
-    serving, or [timeout] elapses; returns whether it happened. Runs the
-    engine. *)
+    serving — counted across every shard — or [timeout] elapses;
+    returns whether it happened. Runs the engine. *)
 val await_serving : ?timeout:float -> t -> count:int -> bool
 
 (** The client-facing service port of this deployment. *)

@@ -13,6 +13,15 @@ type applied = {
   a_op : Directory.op;
 }
 
+(* One half of a cross-shard move, prepared through this shard's total
+   order and waiting for the coordinator's commit or abort. *)
+type staged_xact = {
+  x_op : Directory.op;
+  x_peer_port : string;  (** the other shard's service port *)
+  x_src : bool;  (** we hold the delete (source) side *)
+  x_deadline : float;  (** when the resolver may act on abandonment *)
+}
+
 type t = {
   params : Params.t;
   metrics : Sim.Metrics.t option;
@@ -65,6 +74,16 @@ type t = {
   mutable glog : log_record list; (* newest first *)
   dirty : (int, unit) Hashtbl.t;
   c_commit : Sim.Metrics.handle option;
+  (* Sharded deployment only ([shard] = None is the exact single-group
+     server). [staged_x] / [xdecisions] are driven exclusively by
+     ordered deliveries, so every replica of the shard converges;
+     [xtransport] rides the backbone network for peer-shard
+     termination queries. *)
+  shard : int option;
+  xtransport : Rpc.Transport.t option;
+  staged_x : (int, staged_xact) Hashtbl.t;
+  xdecisions : (int, bool) Hashtbl.t; (* txid -> committed? *)
+  xresults : (int * int, Wire.reply) Hashtbl.t;
 }
 
 let server_id t = t.server_id
@@ -104,10 +123,19 @@ let op_histogram t m ~op =
   match Hashtbl.find_opt t.op_hists op with
   | Some h -> h
   | None ->
-      let h =
-        Sim.Metrics.histogram_handle m "dirsvc.op_ms"
-          ~labels:[ ("op", op); ("server", string_of_int t.server_id) ]
+      (* The shard label exists only in sharded deployments: a
+         single-group run's metrics output must stay byte-identical. *)
+      let labels =
+        match t.shard with
+        | None -> [ ("op", op); ("server", string_of_int t.server_id) ]
+        | Some k ->
+            [
+              ("op", op);
+              ("server", string_of_int t.server_id);
+              ("shard", string_of_int k);
+            ]
       in
+      let h = Sim.Metrics.histogram_handle m "dirsvc.op_ms" ~labels in
       Hashtbl.add t.op_hists op h;
       h
 
@@ -365,6 +393,102 @@ let execute_op t ~origin ~uid op =
     Hashtbl.replace t.results (origin, uid) simplified
   end
 
+(* ---- Cross-shard transactions (ordered side) ------------------------ *)
+
+let xstatus_of t txid =
+  match Hashtbl.find_opt t.xdecisions txid with
+  | Some true -> Wire.Xcommitted
+  | Some false -> Wire.Xaborted
+  | None -> if Hashtbl.mem t.staged_x txid then Wire.Xstaged else Wire.Xunknown
+
+(* Apply a committed cross-shard half through the exact same durable
+   path as any ordered update: useq bump, op_log entry, commit block /
+   NVRAM record — so a crashed replica replays it from the commit
+   block's log like everything else. *)
+let apply_committed t ~origin ~uid op =
+  let useq' = t.useq + 1 in
+  match Directory.apply t.store ~seqno:useq' op with
+  | Ok (store', result) ->
+      let dir_id =
+        match result with
+        | Directory.Created id -> id
+        | Directory.Updated -> (
+            match Directory.dir_id_of_op t.store op with
+            | Some id -> id
+            | None -> assert false)
+      in
+      t.useq <- useq';
+      t.store <- store';
+      t.op_log <-
+        { a_useq = useq'; a_origin = origin; a_uid = uid; a_op = op }
+        :: t.op_log;
+      commit_update t ~dir_id ~op;
+      Ok result
+  | Error e -> Error e
+
+let emit_xact t ~name ~txid =
+  emit t ~name (fun () ->
+      [ ("server", Sim.Trace.Int t.server_id); ("txid", Sim.Trace.Int txid) ])
+
+(* Every replica of the shard executes these in total order, so the
+   staged / decided state is replicated without extra messages. The
+   decision table never demotes a commit: a straggling best-effort
+   abort from a coordinator that already committed is a no-op. *)
+let execute_xact t ~origin ~uid xact =
+  let reply =
+    match xact with
+    | Wire.Xprepare { txid; op; peer_port; src } -> (
+        match Hashtbl.find_opt t.xdecisions txid with
+        | Some true -> Wire.Ok_rep
+        | Some false -> Wire.Err_rep (Wire.Unavailable "transaction aborted")
+        | None ->
+            if Hashtbl.mem t.staged_x txid then Wire.Ok_rep
+            else (
+              (* Dry-run validation against the current store; the op is
+                 re-applied for real at commit, so a conflicting update
+                 landing in between can still fail the commit. *)
+              match Directory.apply t.store ~seqno:(t.useq + 1) op with
+              | Ok _ ->
+                  Hashtbl.replace t.staged_x txid
+                    {
+                      x_op = op;
+                      x_peer_port = peer_port;
+                      x_src = src;
+                      x_deadline =
+                        Sim.Proc.now () +. t.params.Params.xshard_timeout_ms;
+                    };
+                  emit_xact t ~name:"xstaged" ~txid;
+                  Wire.Ok_rep
+              | Error e -> Wire.Err_rep (Wire.Op_error e)))
+    | Wire.Xcommit { txid } -> (
+        match Hashtbl.find_opt t.staged_x txid with
+        | Some staged -> (
+            Hashtbl.remove t.staged_x txid;
+            Hashtbl.replace t.xdecisions txid true;
+            emit_xact t ~name:"xcommitted" ~txid;
+            match apply_committed t ~origin ~uid staged.x_op with
+            | Ok _ -> Wire.Ok_rep
+            | Error e -> Wire.Err_rep (Wire.Op_error e))
+        | None -> (
+            match Hashtbl.find_opt t.xdecisions txid with
+            | Some true -> Wire.Ok_rep
+            | Some false ->
+                Wire.Err_rep (Wire.Unavailable "transaction aborted")
+            | None ->
+                Wire.Err_rep (Wire.Unavailable "no such staged transaction")))
+    | Wire.Xabort { txid } ->
+        Hashtbl.remove t.staged_x txid;
+        (match Hashtbl.find_opt t.xdecisions txid with
+        | Some true -> () (* commit is final *)
+        | Some false | None ->
+            Hashtbl.replace t.xdecisions txid false;
+            emit_xact t ~name:"xaborted" ~txid);
+        Wire.Ok_rep
+    | Wire.Xstatus { txid } -> Wire.Xstatus_rep (xstatus_of t txid)
+  in
+  if origin = Sim.Node.id t.node then
+    Hashtbl.replace t.xresults (origin, uid) reply
+
 let bump_processed t seqno =
   if seqno > t.gprocessed then t.gprocessed <- seqno;
   (* Group commit defers the wake-up to after [flush_commits]: a writer
@@ -377,6 +501,8 @@ let process_delivery t = function
       (if seqno > t.gprocessed then
          match payload with
          | Wire.Dir_op_msg { origin; uid; op } -> execute_op t ~origin ~uid op
+         | Wire.Dir_xact_msg { origin; uid; xact } ->
+             execute_xact t ~origin ~uid xact
          | _ -> ());
       bump_processed t seqno
   | Group.Types.Joined { seqno; _ } | Group.Types.Departed { seqno; _ } ->
@@ -451,8 +577,69 @@ let handle_write t op =
             end)
   end
 
+(* Prepare / commit / abort ride the shard's own total order exactly
+   like a write; only the status query is answered from local state. *)
+let handle_xshard t cmd =
+  if not (majority_ok t) then Wire.Err_rep Wire.No_majority
+  else begin
+    match t.group with
+    | None -> Wire.Err_rep (Wire.Unavailable "no group")
+    | Some g -> (
+        match cmd with
+        | Wire.Xstatus { txid } -> Wire.Xstatus_rep (xstatus_of t txid)
+        | _ -> (
+            Sim.Resource.use t.cpu t.params.cpu_write_ms;
+            let origin = Sim.Node.id t.node in
+            let uid = fresh_uid t in
+            match
+              Group.Member.send g (Wire.Dir_xact_msg { origin; uid; xact = cmd })
+            with
+            | exception Group.Types.Group_failure reason ->
+                Wire.Err_rep (Wire.Unavailable ("group: " ^ reason))
+            | () ->
+                if
+                  not
+                    (await_applied t (fun () ->
+                         Hashtbl.mem t.xresults (origin, uid)))
+                then Wire.Err_rep (Wire.Unavailable "execution timeout")
+                else begin
+                  let reply = Hashtbl.find t.xresults (origin, uid) in
+                  Hashtbl.remove t.xresults (origin, uid);
+                  reply
+                end))
+  end
+
+(* The shard-level NOTHERE: a capability minted by another shard names
+   that shard's port, so a port mismatch bounces the client to the
+   owner. Single-group servers ([shard] = None) never check. *)
+let request_cap = function
+  | Wire.Write_op op -> (
+      match op with
+      | Directory.Create_dir _ -> None
+      | Directory.Delete_dir { cap }
+      | Directory.Append_row { cap; _ }
+      | Directory.Chmod_row { cap; _ }
+      | Directory.Delete_row { cap; _ }
+      | Directory.Replace_set { cap; _ } ->
+          Some cap)
+  | Wire.List_req { cap; _ } -> Some cap
+  | Wire.Lookup_req { items = (cap, _) :: _; _ } -> Some cap
+  | Wire.Lookup_req { items = []; _ } | Wire.Xshard_req _ -> None
+
+let wrong_shard t request =
+  match t.shard with
+  | None -> false
+  | Some _ -> (
+      match request_cap request with
+      | Some cap -> not (String.equal cap.Capability.port t.port)
+      | None -> false)
+
 let client_handler t ~client:_ body =
   match body with
+  | Wire.Dir_request request when wrong_shard t request ->
+      Wire.Dir_reply (Wire.Err_rep Wire.Wrong_shard)
+  | Wire.Dir_request (Wire.Xshard_req cmd) ->
+      Wire.Dir_reply (timed_op t ~op:"xshard" (fun () -> handle_xshard t cmd))
   | Wire.Dir_request (Wire.Write_op op) ->
       Wire.Dir_reply
         (timed_op t ~op:(Directory.op_kind op) (fun () -> handle_write t op))
@@ -929,8 +1116,101 @@ let nvram_flusher t nv () =
     if Storage.Nvram.length nv > 0 && (idle || full) then nvram_flush t nv
   done
 
-let start ~params ?metrics ?nvram net ~server_id ~peers ~node ~device
-    ~bullet_port ~gname ~port () =
+(* ---- Cross-shard abandonment resolver -------------------------------- *)
+
+(* The backbone status port of the shard whose client port is [port]:
+   served by every member of that shard on the backbone network. *)
+let xstatus_port port = "xs@" ^ port
+
+let xstatus_handler t ~client:_ body =
+  match body with
+  | Wire.Dir_request (Wire.Xshard_req (Wire.Xstatus { txid })) ->
+      if not (majority_ok t) then
+        Wire.Dir_reply (Wire.Err_rep Wire.No_majority)
+      else Wire.Dir_reply (Wire.Xstatus_rep (xstatus_of t txid))
+  | _ -> Wire.Dir_reply (Wire.Err_rep (Wire.Unavailable "bad status request"))
+
+(* Only the lowest-node member of the current view resolves — a single
+   decision maker per shard keeps resolution traffic down; the decision
+   itself still travels through the total order. *)
+let is_xact_leader t =
+  match t.group with
+  | Some g when t.serving -> (
+      match Group.Member.members g with
+      | [] -> false
+      | members -> List.fold_left min max_int members = Sim.Node.id t.node)
+  | Some _ | None -> false
+
+let decide_staged t txid ~commit =
+  match t.group with
+  | None -> ()
+  | Some g -> (
+      let origin = Sim.Node.id t.node in
+      let uid = fresh_uid t in
+      let xact =
+        if commit then Wire.Xcommit { txid } else Wire.Xabort { txid }
+      in
+      match Group.Member.send g (Wire.Dir_xact_msg { origin; uid; xact }) with
+      | exception Group.Types.Group_failure _ -> ()
+      | () ->
+          if await_applied t (fun () -> Hashtbl.mem t.xresults (origin, uid))
+          then Hashtbl.remove t.xresults (origin, uid))
+
+(* A transaction abandoned past its deadline (coordinator crash).
+   Presumed abort, with one asymmetry: the coordinator commits the
+   source (delete) side first, so the source can self-abort — if it is
+   still staged nobody committed anything — while the destination must
+   ask the source how it ended over the backbone before acting. *)
+let resolve_staged t txid staged =
+  if staged.x_src then begin
+    emit_xact t ~name:"xresolve_abort" ~txid;
+    decide_staged t txid ~commit:false
+  end
+  else
+    match t.xtransport with
+    | None -> decide_staged t txid ~commit:false
+    | Some xt -> (
+        match
+          Rpc.Transport.trans xt
+            ~port:(xstatus_port staged.x_peer_port)
+            ~timeout:500.0
+            (Wire.Dir_request (Wire.Xshard_req (Wire.Xstatus { txid })))
+        with
+        | Wire.Dir_reply (Wire.Xstatus_rep Wire.Xcommitted) ->
+            emit_xact t ~name:"xresolve_commit" ~txid;
+            decide_staged t txid ~commit:true
+        | Wire.Dir_reply (Wire.Xstatus_rep (Wire.Xaborted | Wire.Xunknown)) ->
+            emit_xact t ~name:"xresolve_abort" ~txid;
+            decide_staged t txid ~commit:false
+        | Wire.Dir_reply (Wire.Xstatus_rep Wire.Xstaged) ->
+            (* The source's own resolver will abort it at its deadline;
+               ask again on the next scan. *)
+            ()
+        | _ | (exception Rpc.Transport.Rpc_failure _) -> ())
+
+let xact_resolver t () =
+  while true do
+    Sim.Timer.sleep 250.0;
+    if is_xact_leader t then begin
+      let now = Sim.Proc.now () in
+      let expired =
+        Hashtbl.fold
+          (fun txid staged acc ->
+            if now > staged.x_deadline then (txid, staged) :: acc else acc)
+          t.staged_x []
+      in
+      let expired =
+        List.sort (fun (a, _) (b, _) -> compare (a : int) b) expired
+      in
+      List.iter
+        (fun (txid, staged) ->
+          if Hashtbl.mem t.staged_x txid then resolve_staged t txid staged)
+        expired
+    end
+  done
+
+let start ~params ?metrics ?nvram ?shard ?xnet net ~server_id ~peers ~node
+    ~device ~bullet_port ~gname ~port () =
   let nic = Simnet.Network.attach net node in
   (* Server-to-server calls (Bullet commits, recovery fetches) must ride
      out disk backlogs without spurious retries. *)
@@ -938,6 +1218,13 @@ let start ~params ?metrics ?nvram net ~server_id ~peers ~node ~device
     { Rpc.Transport.default_config with trans_timeout = 3_000.0 }
   in
   let transport = Rpc.Transport.create ~config:rpc_config net nic in
+  let xtransport =
+    match xnet with
+    | None -> None
+    | Some xnet ->
+        let xnic = Simnet.Network.attach xnet node in
+        Some (Rpc.Transport.create ~config:rpc_config xnet xnic)
+  in
   let table =
     Storage.Object_table.attach device ~first_block:1 ~slots:params.Params.admin_slots
   in
@@ -984,17 +1271,28 @@ let start ~params ?metrics ?nvram net ~server_id ~peers ~node ~device
         | Some m when params.Params.batch_max > 1 ->
             Some (Sim.Metrics.counter m "dirsvc.commit")
         | Some _ | None -> None);
+      shard;
+      xtransport;
+      staged_x = Hashtbl.create 8;
+      xdecisions = Hashtbl.create 8;
+      xresults = Hashtbl.create 8;
     }
   in
   Rpc.Transport.serve transport ~port ~threads:params.Params.server_threads
     (client_handler t);
   Rpc.Transport.serve transport ~port:(admin_port (Sim.Node.id node)) ~threads:2
     (admin_handler t);
+  (match t.xtransport with
+  | Some xt -> Rpc.Transport.serve xt ~port:(xstatus_port port) ~threads:2
+      (xstatus_handler t)
+  | None -> ());
   Sim.Proc.boot (Simnet.Network.engine net) node ~name:"dirsvc.boot" (fun () ->
       load_disk_state t;
       (match t.nvram with
       | Some nv -> Sim.Proc.spawn ~name:"dirsvc.nvflush" (nvram_flusher t nv)
       | None -> ());
+      (if t.shard <> None then
+         Sim.Proc.spawn ~name:"dirsvc.xresolve" (xact_resolver t));
       group_thread t ());
   t
 

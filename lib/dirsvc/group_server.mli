@@ -40,11 +40,23 @@ type t
     [peers] lists every configured directory server as
     [(server_id, node_id)], including this one. The returned handle is
     ready immediately; the server starts serving once recovery
-    establishes a safe majority. *)
+    establishes a safe majority.
+
+    [shard] marks a sharded deployment: the server bounces requests for
+    capabilities minted by other shards with {!Wire.Wrong_shard},
+    labels its op histograms with the shard index, accepts cross-shard
+    prepare / commit / abort records through its total order, and runs
+    an abandonment resolver. [xnet] is the inter-shard backbone; the
+    server answers transaction-status queries on it (port
+    ["xs@"^port]) so a peer shard can terminate a transaction whose
+    coordinator crashed. Both absent (the default) is the exact
+    single-group server, byte-identical per seed. *)
 val start :
   params:Params.t ->
   ?metrics:Sim.Metrics.t ->
   ?nvram:nvram ->
+  ?shard:int ->
+  ?xnet:Simnet.Network.t ->
   Simnet.Network.t ->
   server_id:int ->
   peers:(int * int) list ->

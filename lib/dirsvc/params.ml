@@ -21,6 +21,8 @@ type t = {
   disk_blocks : int;
   disk_block_size : int;
   admin_slots : int;
+  shards : int;
+  xshard_timeout_ms : float;
 }
 
 let default =
@@ -47,6 +49,8 @@ let default =
     disk_blocks = 4096;
     disk_block_size = 1024;
     admin_slots = 256;
+    shards = 1;
+    xshard_timeout_ms = 1500.0;
   }
 
 let with_disk_scale t factor =

@@ -47,6 +47,13 @@ type t = {
   disk_blocks : int;  (** geometry of each server machine's disk *)
   disk_block_size : int;
   admin_slots : int;  (** object-table slots (max directories) *)
+  shards : int;
+      (** number of independent replica groups the namespace is hash
+          partitioned over: 1 (the default) is the exact single-group
+          service, byte-identical per seed *)
+  xshard_timeout_ms : float;
+      (** cross-shard commit: how long a participant holds a staged
+          prepare before asking around / presuming abort *)
 }
 
 val default : t

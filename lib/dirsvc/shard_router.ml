@@ -1,0 +1,106 @@
+(* Client-side shard routing: a deterministic hash partition of
+   directory names over M replica groups, layered on the per-port
+   locate cache each transport already keeps. Placement is decided
+   once, at Create_dir, by hashing the placement name; after that a
+   capability carries its shard in its service port, so routing a cap
+   is a port-table lookup, not a hash. A request that reaches the
+   wrong group bounces with [Wire.Wrong_shard] and is re-sent once to
+   the owner — the shard-level analogue of the RPC layer's NOTHERE. *)
+
+type t = {
+  transports : Rpc.Transport.t array; (* one per shard: shards live on
+                                         separate networks *)
+  ports : string array;
+  timeout : float;
+  cross_shard : Sim.Metrics.handle option;
+  mutable next_txid : int;
+}
+
+(* FNV-1a over the placement name, folded to 30 bits so the partition
+   map is identical on 32- and 64-bit hosts. *)
+let shard_of_name ~shards name =
+  if shards < 1 then invalid_arg "Shard_router.shard_of_name";
+  let h = ref 0x1505_51ed in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x0100_0193 land 0x3FFF_FFFF)
+    name;
+  !h mod shards
+
+let make ?(timeout = 5_000.0) ?metrics transports ~ports =
+  if Array.length ports = 0 then invalid_arg "Shard_router.make: no shards";
+  if Array.length transports <> Array.length ports then
+    invalid_arg "Shard_router.make: one transport per shard";
+  {
+    transports;
+    ports;
+    timeout;
+    cross_shard =
+      (match metrics with
+      | None -> None
+      | Some m -> Some (Sim.Metrics.counter m "dirsvc.cross_shard"));
+    next_txid = 0;
+  }
+
+let shards t = Array.length t.ports
+
+let port t ~shard = t.ports.(shard)
+
+let transport t ~shard = t.transports.(shard)
+
+let shard_of_cap t (cap : Capability.t) =
+  let rec scan i =
+    if i >= Array.length t.ports then None
+    else if String.equal t.ports.(i) cap.Capability.port then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let fresh_txid t =
+  t.next_txid <- t.next_txid + 1;
+  (Rpc.Transport.node_id t.transports.(0) * 1_000_000) + t.next_txid
+
+let count_cross t =
+  match t.cross_shard with
+  | None -> ()
+  | Some h -> Sim.Metrics.incr_handle h
+
+let cap_of_request = function
+  | Wire.Write_op op -> (
+      match op with
+      | Directory.Create_dir _ -> None
+      | Directory.Delete_dir { cap }
+      | Directory.Append_row { cap; _ }
+      | Directory.Chmod_row { cap; _ }
+      | Directory.Delete_row { cap; _ }
+      | Directory.Replace_set { cap; _ } ->
+          Some cap)
+  | Wire.List_req { cap; _ } -> Some cap
+  | Wire.Lookup_req { items = (cap, _) :: _; _ } -> Some cap
+  | Wire.Lookup_req { items = []; _ } -> None
+  | Wire.Xshard_req _ -> None
+
+let raw_call t ~shard request =
+  Rpc.Transport.trans t.transports.(shard) ~port:t.ports.(shard)
+    ~timeout:t.timeout (Wire.Dir_request request)
+
+let call t ~shard request =
+  match raw_call t ~shard request with
+  | Wire.Dir_reply (Wire.Err_rep Wire.Wrong_shard) -> (
+      (* Bounce: our guess was wrong (stale placement assumption).
+         Recompute the owner from the capability's port and retry
+         once; a second bounce is a real error. *)
+      let owner =
+        match cap_of_request request with
+        | Some cap -> shard_of_cap t cap
+        | None -> None
+      in
+      match owner with
+      | Some owner when owner <> shard -> (
+          match raw_call t ~shard:owner request with
+          | Wire.Dir_reply (Wire.Err_rep e) -> raise (Wire.Dir_error e)
+          | Wire.Dir_reply reply -> reply
+          | _ -> raise (Wire.Dir_error (Wire.Unavailable "malformed reply")))
+      | _ -> raise (Wire.Dir_error Wire.Wrong_shard))
+  | Wire.Dir_reply (Wire.Err_rep e) -> raise (Wire.Dir_error e)
+  | Wire.Dir_reply reply -> reply
+  | _ -> raise (Wire.Dir_error (Wire.Unavailable "malformed reply"))

@@ -2,18 +2,42 @@ type service_error =
   | Op_error of Directory.error
   | No_majority
   | Unavailable of string
+  | Wrong_shard
 
 let service_error_to_string = function
   | Op_error e -> Directory.error_to_string e
   | No_majority -> "no majority of directory servers"
   | Unavailable reason -> "temporarily unavailable: " ^ reason
+  | Wrong_shard -> "capability belongs to another shard"
 
 exception Dir_error of service_error
+
+(* Cross-shard move: a two-group coordinator commit. The client (the
+   coordinator) prepares the delete on the source shard and the append
+   on the destination shard, then commits source first — the source's
+   commit is the commit point. Each participant stages the prepared op
+   and runs it through its own sequencer like any other update, so the
+   staged/committed state is totally ordered and replicated within the
+   shard. [peer_port] names the other shard so a participant left
+   staged by a crashed coordinator can ask the peer how it ended. *)
+type xshard_cmd =
+  | Xprepare of {
+      txid : int;
+      op : Directory.op;
+      peer_port : string;
+      src : bool;  (** true on the source (delete) side *)
+    }
+  | Xcommit of { txid : int }
+  | Xabort of { txid : int }
+  | Xstatus of { txid : int }  (** peer-to-peer termination query *)
+
+type xshard_status = Xcommitted | Xaborted | Xstaged | Xunknown
 
 type request =
   | Write_op of Directory.op
   | List_req of { cap : Capability.t; column : int }
   | Lookup_req of { items : (Capability.t * string) list; column : int }
+  | Xshard_req of xshard_cmd
 
 type reply =
   | Cap_rep of Capability.t
@@ -21,11 +45,13 @@ type reply =
   | Listing_rep of Directory.listing
   | Lookup_rep of (Capability.t * int) option list
   | Err_rep of service_error
+  | Xstatus_rep of xshard_status
 
 type Simnet.Payload.t +=
   | Dir_request of request
   | Dir_reply of reply
   | Dir_op_msg of { origin : int; uid : int; op : Directory.op }
+  | Dir_xact_msg of { origin : int; uid : int; xact : xshard_cmd }
   | Exchange_req of { server : int }
   | Exchange_rep of {
       server : int;
@@ -199,8 +225,18 @@ let () =
     | Dir_request (Write_op _) -> Some "dir.write"
     | Dir_request (List_req _) -> Some "dir.list"
     | Dir_request (Lookup_req _) -> Some "dir.lookup"
+    | Dir_request (Xshard_req (Xprepare { txid; src; _ })) ->
+        Some (Printf.sprintf "dir.xprepare %d %s" txid (if src then "src" else "dst"))
+    | Dir_request (Xshard_req (Xcommit { txid })) ->
+        Some (Printf.sprintf "dir.xcommit %d" txid)
+    | Dir_request (Xshard_req (Xabort { txid })) ->
+        Some (Printf.sprintf "dir.xabort %d" txid)
+    | Dir_request (Xshard_req (Xstatus { txid })) ->
+        Some (Printf.sprintf "dir.xstatus? %d" txid)
     | Dir_reply _ -> Some "dir.reply"
     | Dir_op_msg { origin; uid; _ } -> Some (Printf.sprintf "dir.op %d.%d" origin uid)
+    | Dir_xact_msg { origin; uid; _ } ->
+        Some (Printf.sprintf "dir.xact %d.%d" origin uid)
     | Exchange_req { server } -> Some (Printf.sprintf "dir.exchange? s%d" server)
     | Exchange_rep { server; useq; _ } ->
         Some (Printf.sprintf "dir.exchange s%d useq=%d" server useq)

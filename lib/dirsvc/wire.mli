@@ -11,15 +11,40 @@ type service_error =
       (** fewer than a majority of directory servers are up — reads and
           writes are both refused (paper §3.1's partition argument) *)
   | Unavailable of string  (** transient: recovery or view change *)
+  | Wrong_shard
+      (** the capability hashes to a different replica group; the
+          shard router re-routes on this bounce (NOTHERE analogue at
+          the shard level) *)
 
 val service_error_to_string : service_error -> string
 
 exception Dir_error of service_error
 
+(** Cross-shard move: a two-group coordinator commit (client-driven).
+    Participants stage the prepared op, run the stage/commit/abort
+    records through their own sequencer, and log them into the commit
+    block so recovery replays idempotently. [peer_port] lets a
+    participant abandoned mid-transaction query the other shard for
+    the outcome; commit order is source first, so the source's commit
+    record is the commit point. *)
+type xshard_cmd =
+  | Xprepare of {
+      txid : int;
+      op : Directory.op;
+      peer_port : string;
+      src : bool;  (** true on the source (delete) side *)
+    }
+  | Xcommit of { txid : int }
+  | Xabort of { txid : int }
+  | Xstatus of { txid : int }  (** peer-to-peer termination query *)
+
+type xshard_status = Xcommitted | Xaborted | Xstaged | Xunknown
+
 type request =
   | Write_op of Directory.op
   | List_req of { cap : Capability.t; column : int }
   | Lookup_req of { items : (Capability.t * string) list; column : int }
+  | Xshard_req of xshard_cmd
 
 type reply =
   | Cap_rep of Capability.t  (** Create_dir: the new owner capability *)
@@ -27,12 +52,16 @@ type reply =
   | Listing_rep of Directory.listing
   | Lookup_rep of (Capability.t * int) option list
   | Err_rep of service_error
+  | Xstatus_rep of xshard_status
 
 type Simnet.Payload.t +=
   | Dir_request of request
   | Dir_reply of reply
   | Dir_op_msg of { origin : int; uid : int; op : Directory.op }
       (** an update travelling through SendToGroup *)
+  | Dir_xact_msg of { origin : int; uid : int; xact : xshard_cmd }
+      (** a cross-shard transaction record travelling through one
+          shard's total order *)
   | Exchange_req of { server : int }
   | Exchange_rep of {
       server : int;

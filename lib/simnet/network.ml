@@ -48,11 +48,14 @@ type t = {
   mutable fault_filter : (Packet.t -> fault_action) option;
 }
 
-let create engine ?metrics ?(latency = default_latency) ?(rails = 1) () =
+let create engine ?metrics ?(latency = default_latency) ?(rails = 1) ?seed () =
   if rails < 1 then invalid_arg "Network.create: at least one rail";
   {
     engine;
-    rng = Sim.Rng.split (Sim.Engine.rng engine);
+    rng =
+      (match seed with
+      | None -> Sim.Rng.split (Sim.Engine.rng engine)
+      | Some s -> Sim.Rng.create s);
     counters =
       (match metrics with
       | None -> None

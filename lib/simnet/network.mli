@@ -34,12 +34,16 @@ val create :
   ?metrics:Sim.Metrics.t ->
   ?latency:latency ->
   ?rails:int ->
+  ?seed:int64 ->
   unit ->
   t
   [@@ocaml.doc
     "[create engine ()] makes an empty network. [metrics] receives\n\
     \ per-protocol packet counters (used to rebuild the paper's message\n\
-    \ cost analysis)."]
+    \ cost analysis). [seed] fixes the network's own RNG stream instead\n\
+    \ of splitting it off the engine's — a sharded cluster gives each\n\
+    \ shard's network a derived seed so one shard's jitter stream does\n\
+    \ not depend on how many other shards exist."]
 
 val engine : t -> Sim.Engine.t
 

@@ -11,7 +11,7 @@ let ensure_serving cluster =
   | Dirsvc.Cluster.Group_disk | Dirsvc.Cluster.Group_nvram ->
       ignore
         (Dirsvc.Cluster.await_serving cluster
-           ~count:(Dirsvc.Cluster.n_servers cluster))
+           ~count:(Dirsvc.Cluster.total_servers cluster))
   | Dirsvc.Cluster.Rpc_pair | Dirsvc.Cluster.Nfs_single ->
       Dirsvc.Cluster.run_until cluster
         (Sim.Engine.now (Dirsvc.Cluster.engine cluster) +. 100.0)

@@ -10,7 +10,7 @@ let ensure_serving cluster =
   | Dirsvc.Cluster.Group_disk | Dirsvc.Cluster.Group_nvram ->
       ignore
         (Dirsvc.Cluster.await_serving cluster
-           ~count:(Dirsvc.Cluster.n_servers cluster))
+           ~count:(Dirsvc.Cluster.total_servers cluster))
   | Dirsvc.Cluster.Rpc_pair | Dirsvc.Cluster.Nfs_single ->
       Dirsvc.Cluster.run_until cluster
         (Sim.Engine.now (Dirsvc.Cluster.engine cluster) +. 100.0)
@@ -123,6 +123,53 @@ let append_deletes ?(warmup = 500.0) ?(window = 4_000.0) cluster ~clients =
     let name = Printf.sprintf "t%d" i in
     Dirsvc.Client.append_row client cap ~name [ cap ];
     Dirsvc.Client.delete_row client cap ~name
+  in
+  run_window cluster ~warmup ~window ~clients ~setup ~op
+
+(* The shard sweep's workload: update-heavy, every client hammering its
+   own directories, placed across the shards by the partition map (so
+   with M groups the ordering work spreads over M sequencers). Each
+   client owns two directories — placements "c<i>.a" and "c<i>.b" — and
+   loops append+delete pairs on the first; every [cross_period]-th
+   iteration instead moves the row to the second directory and deletes
+   it there, which is a two-group commit whenever the two placements
+   hash to different shards. [cross_period = 0] (the default) never
+   moves. On a single-group cluster the placements are ignored and this
+   degenerates to append_deletes with an occasional move. *)
+let shard_updates ?(warmup = 500.0) ?(window = 4_000.0) ?(cross_period = 0)
+    cluster ~clients =
+  let dirs : (int, Capability.t * Capability.t) Hashtbl.t = Hashtbl.create 16 in
+  let iter_no : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let setup _cluster = () in
+  let op () i client =
+    let dir_a, dir_b =
+      match Hashtbl.find_opt dirs i with
+      | Some pair -> pair
+      | None ->
+          let dir_a =
+            Dirsvc.Client.create_dir
+              ~placement:(Printf.sprintf "c%d.a" i)
+              client ~columns:[ "owner" ]
+          in
+          let dir_b =
+            Dirsvc.Client.create_dir
+              ~placement:(Printf.sprintf "c%d.b" i)
+              client ~columns:[ "owner" ]
+          in
+          Hashtbl.replace dirs i (dir_a, dir_b);
+          (dir_a, dir_b)
+    in
+    let k =
+      (match Hashtbl.find_opt iter_no i with Some k -> k | None -> 0) + 1
+    in
+    Hashtbl.replace iter_no i k;
+    let name = Printf.sprintf "t%d" i in
+    Dirsvc.Client.append_row client dir_a ~name [ dir_a ];
+    if cross_period > 0 && k mod cross_period = 0 then begin
+      Dirsvc.Client.move_row client ~src:dir_a ~dst:dir_b ~name;
+      Dirsvc.Client.delete_row client dir_b ~name
+    end
+    else Dirsvc.Client.delete_row client dir_a ~name
   in
   run_window cluster ~warmup ~window ~clients ~setup ~op
 

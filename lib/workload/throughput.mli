@@ -32,6 +32,23 @@ val lookups :
 val append_deletes :
   ?warmup:float -> ?window:float -> Dirsvc.Cluster.t -> clients:int -> point
 
+(** [shard_updates cluster ~clients] — the throughput-vs-shards
+    workload: update-heavy append+delete pairs on per-client
+    directories placed across the shards by the partition map. Every
+    [cross_period]-th iteration per client is a row {e move} between
+    the client's two directories instead — a two-group commit when
+    they land on different shards ([cross_period = 0], the default,
+    never moves). The point counts client iterations, exactly like
+    {!append_deletes}; cross-shard commits land in the
+    ["dirsvc.cross_shard"] counter. *)
+val shard_updates :
+  ?warmup:float ->
+  ?window:float ->
+  ?cross_period:int ->
+  Dirsvc.Cluster.t ->
+  clients:int ->
+  point
+
 (** [sweep make_cluster measure points] runs [measure] on a fresh
     deployment per client count — like the paper's separate runs. With
     [?pool] the points run concurrently on the pool's domains; results

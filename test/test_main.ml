@@ -1,3 +1,3 @@
 (* Aggregates all test suites into one alcotest binary. *)
 
-let () = Alcotest.run "amoeba-dirsvc" [ ("sim", Test_sim.suite); ("trace", Test_trace.suite); ("net", Test_net.suite); ("rpc", Test_rpc.suite); ("group", Test_group.suite); ("capability", Test_capability.suite); ("storage", Test_storage.suite); ("directory", Test_directory.suite); ("skeen", Test_skeen.suite); ("dirsvc", Test_dirsvc.suite); ("recovery", Test_recovery.suite); ("workload", Test_workload.suite); ("pool", Test_pool.suite); ("baseline", Test_baseline.suite) ]
+let () = Alcotest.run "amoeba-dirsvc" [ ("sim", Test_sim.suite); ("trace", Test_trace.suite); ("net", Test_net.suite); ("rpc", Test_rpc.suite); ("group", Test_group.suite); ("capability", Test_capability.suite); ("storage", Test_storage.suite); ("directory", Test_directory.suite); ("skeen", Test_skeen.suite); ("dirsvc", Test_dirsvc.suite); ("recovery", Test_recovery.suite); ("workload", Test_workload.suite); ("pool", Test_pool.suite); ("shard", Test_shard.suite); ("baseline", Test_baseline.suite) ]
